@@ -1,0 +1,43 @@
+"""Ablation (Section 8.2 prose): the count/median budget split of data-dependent trees.
+
+The paper reports that biasing the budget towards node counts — roughly
+``eps_count = 0.7 eps`` — gives the best query accuracy for the standard
+kd-tree.  This benchmark sweeps the count fraction and regenerates that table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.ablations import run_budget_split_ablation
+
+from conftest import report
+
+COUNT_FRACTIONS = (0.3, 0.5, 0.7, 0.9)
+
+
+def test_ablation_budget_split(benchmark, capsys, scale, bench_points):
+    rows = benchmark.pedantic(
+        run_budget_split_ablation,
+        kwargs={"scale": scale, "count_fractions": COUNT_FRACTIONS, "epsilon": 0.5,
+                "points": bench_points, "rng": 6},
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "ablation_budget_split",
+        "Ablation — kd-standard error (%) vs fraction of budget spent on counts (paper: ~0.7 best)",
+        rows,
+        ["count_fraction", "shape", "median_rel_error_pct"],
+        capsys,
+    )
+
+    def mean_error(fraction):
+        vals = [r["median_rel_error_pct"] for r in rows if r["count_fraction"] == fraction]
+        return float(np.mean(vals))
+
+    errors = {f: mean_error(f) for f in COUNT_FRACTIONS}
+    # A middling-to-count-heavy split should not be the worst configuration;
+    # starving the counts (0.3) should never be the best one.
+    assert errors[0.7] <= max(errors.values())
+    assert min(errors, key=errors.get) != 0.3

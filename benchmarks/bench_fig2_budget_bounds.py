@@ -1,0 +1,31 @@
+"""Figure 2: worst-case Err(Q) of the uniform vs geometric budget strategies.
+
+Regenerates the two analytic curves of Figure 2 (in units of ``16 / eps^2``)
+for tree heights 5..10 and reports their ratio.  The expected shape: the
+uniform-budget bound grows roughly ``(h+1)^2`` times faster, so by ``h = 10``
+the geometric allocation is more than an order of magnitude better.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig2 import PAPER_HEIGHTS, run_fig2
+
+from conftest import report
+
+
+def test_fig2_budget_bound_curves(benchmark, capsys):
+    rows = benchmark.pedantic(run_fig2, args=(PAPER_HEIGHTS,), rounds=1, iterations=1)
+    report(
+        "fig2_budget_bounds",
+        "Figure 2 — worst-case Err(Q) (units of 16/eps^2), uniform vs geometric budget",
+        rows,
+        ["height", "err_uniform", "err_geometric", "ratio"],
+        capsys,
+    )
+    # The geometric allocation must dominate at every height, increasingly so
+    # (the paper's Figure 2 shows roughly a 2.7x gap by h = 10, and the gap
+    # keeps growing like (h+1)^2 asymptotically).
+    ratios = [row["ratio"] for row in rows]
+    assert all(r > 1.0 for r in ratios)
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 2.5

@@ -1,0 +1,46 @@
+"""Figure 3: query accuracy of the quadtree optimisations (baseline/geo/post/opt).
+
+Regenerates the three panels of Figure 3 (eps = 0.1, 0.5, 1.0) over the four
+query shapes.  The expected shape: every optimisation reduces the error of the
+baseline, the combination (quad-opt) is best, and the gap is largest at the
+smallest privacy budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig3 import PAPER_EPSILONS, run_fig3
+
+from conftest import report
+
+
+def test_fig3_quadtree_optimizations(benchmark, capsys, scale, bench_points):
+    rows = benchmark.pedantic(
+        run_fig3,
+        kwargs={"scale": scale, "epsilons": PAPER_EPSILONS, "points": bench_points, "rng": 1},
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "fig3_quadtree_optimizations",
+        "Figure 3 — median relative error (%) of quadtree variants by privacy budget and query shape",
+        rows,
+        ["epsilon", "variant", "shape", "median_rel_error_pct"],
+        capsys,
+    )
+
+    # Shape check: averaged over shapes, quad-opt must beat quad-baseline at
+    # every budget, and by the largest factor at the smallest budget.
+    def mean_error(variant, epsilon):
+        vals = [r["median_rel_error_pct"] for r in rows
+                if r["variant"] == variant and r["epsilon"] == epsilon]
+        return float(np.mean(vals))
+
+    improvements = []
+    for epsilon in PAPER_EPSILONS:
+        baseline = mean_error("quad-baseline", epsilon)
+        optimised = mean_error("quad-opt", epsilon)
+        assert optimised < baseline
+        improvements.append(baseline / optimised)
+    assert improvements[0] >= 1.5  # strongest effect at eps = 0.1

@@ -1,0 +1,54 @@
+"""Figure 6: the best PSD of each family as the tree height varies.
+
+Regenerates the Figure 6 sweep (quad-opt, kd-hybrid, kd-cell, Hilbert-R at
+eps = 0.5) over a range of heights.  The default heights stop at 8 to keep the
+pure-Python tree sizes manageable; at paper scale the sweep runs 6..10.
+Expected shape: the optimised quadtree improves with height and is among the
+best at the largest heights; kd-cell is strong on the small square query and
+weak on the large ones; Hilbert-R is competitive on some shapes but erratic.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.experiments.fig6 import run_fig6
+
+from conftest import report
+
+
+def _heights():
+    if os.environ.get("REPRO_BENCH_SCALE", "").lower() == "paper":
+        return (6, 7, 8, 9, 10)
+    return (5, 6, 7, 8)
+
+
+def test_fig6_psd_comparison(benchmark, capsys, scale, bench_points):
+    heights = _heights()
+    rows = benchmark.pedantic(
+        run_fig6,
+        kwargs={"scale": scale, "heights": heights, "epsilon": 0.5, "points": bench_points, "rng": 3},
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "fig6_psd_comparison",
+        "Figure 6 — median relative error (%) vs tree height at eps = 0.5",
+        rows,
+        ["method", "height", "shape", "median_rel_error_pct"],
+        capsys,
+    )
+
+    def error(method, height, shape):
+        for r in rows:
+            if r["method"] == method and r["height"] == height and r["shape"] == shape:
+                return r["median_rel_error_pct"]
+        return float("nan")
+
+    # Shape checks: quad-opt on the big square query keeps improving (or at
+    # least does not blow up) as height grows, and every method stays finite.
+    big = "(10, 10)"
+    assert error("quad-opt", heights[-1], big) <= error("quad-opt", heights[0], big) * 2.0 + 1.0
+    assert all(np.isfinite(r["median_rel_error_pct"]) for r in rows)

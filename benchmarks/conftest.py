@@ -1,0 +1,59 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every module in this directory regenerates the data series behind one figure
+(or prose parameter study) of the paper's evaluation.  Conventions:
+
+* each benchmark test wraps the experiment in ``benchmark.pedantic(..., rounds=1)``
+  so the expensive run happens exactly once but still produces a timing row;
+* the resulting series is printed to the console (bypassing capture, so it
+  appears in ``bench_output.txt``) and written to ``benchmarks/results/<name>.txt``;
+* the default experiment scale is reduced from the paper's (see DESIGN.md);
+  set the environment variable ``REPRO_BENCH_SCALE=paper`` to run at full scale.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+import pytest
+
+from repro.data import road_intersections
+from repro.experiments.common import ExperimentScale, format_table
+from repro.geometry import TIGER_DOMAIN
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> ExperimentScale:
+    """The experiment scale used by the benchmarks (env-var switchable)."""
+    if os.environ.get("REPRO_BENCH_SCALE", "").lower() == "paper":
+        return ExperimentScale.paper()
+    return ExperimentScale(n_points=60_000, n_queries=50, repetitions=1, quad_height=8, kd_height=6)
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def bench_points(scale) -> np.ndarray:
+    """The shared TIGER-like dataset, generated once per benchmark session."""
+    return road_intersections(n=scale.n_points, rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="session")
+def bench_domain():
+    return TIGER_DOMAIN
+
+
+def report(name: str, title: str, rows: Iterable[Dict[str, object]], columns: Sequence[str], capsys) -> None:
+    """Print a series table to the live console and persist it under results/."""
+    table = format_table(list(rows), columns, title=title)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    with capsys.disabled():
+        print("\n" + table + "\n")

@@ -1,0 +1,61 @@
+"""Private record matching: pruning secure-computation work with a PSD.
+
+Reproduces the application of Section 8.3 (after Inan et al. [12]): two
+parties hold location-tagged customer records and want to find matches
+(records within a small distance of each other) without revealing their data.
+Party A releases a differentially private spatial index of its records; the
+blocking step discards all pairs whose regions cannot match, and only the
+surviving candidate pairs go to the expensive secure multiparty computation.
+
+The metric is the *reduction ratio* — the fraction of pairwise comparisons
+avoided — and the demo compares the three private indexes of Figure 7(b)
+across privacy budgets, also reporting pairs completeness (the fraction of
+true matches that survive blocking) as a sanity check.
+
+Run with::
+
+    python examples/record_matching_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import gaussian_cluster_points
+from repro.experiments.common import format_table
+from repro.experiments.fig7 import run_fig7b
+from repro.geometry import Domain
+
+
+def main() -> None:
+    rows = run_fig7b(
+        n_per_party=10_000,
+        epsilons=(0.05, 0.1, 0.2, 0.3, 0.4, 0.5),
+        height=6,
+        matching_distance=0.05,
+        rng=3,
+    )
+    print(format_table(
+        rows,
+        ["method", "epsilon", "reduction_ratio", "pairs_completeness", "surviving_leaves"],
+        title="Private record matching (reduction ratio: larger is better)",
+    ))
+    print("\nExpected shape (paper, Figure 7b): all methods improve as the budget grows,")
+    print("and the EM-median kd-tree (kd-standard) achieves the best reduction ratio,")
+    print("improving appreciably over the noisy-mean kd-tree of the original approach.")
+
+    # Back-of-the-envelope translation into saved SMC work, as in the paper.
+    by_method = {}
+    for row in rows:
+        by_method.setdefault(row["method"], []).append(row)
+    best = {m: max(r["reduction_ratio"] for r in series) for m, series in by_method.items()}
+    if "kd-standard" in best and "kd-noisymean" in best:
+        ours, theirs = best["kd-standard"], best["kd-noisymean"]
+        if theirs < 1.0:
+            saved = (ours - theirs) / (1.0 - theirs)
+            print(f"\nAt the largest budget, kd-standard removes {100 * saved:.0f}% of the SMC work")
+            print("left over by kd-noisymean (the paper quotes 28% for 0.93 -> 0.95).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists only so the
+package installs editable (``pip install -e .``) in offline environments where
+the ``wheel`` package is unavailable and pip must fall back to the legacy
+``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

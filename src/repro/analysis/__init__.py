@@ -1,0 +1,37 @@
+"""Analytical error bounds and budget-strategy analytics (Section 4)."""
+
+from .budget_analysis import (
+    StrategyComparison,
+    best_geometric_ratio,
+    compare_strategies,
+    empirical_error_for_strategy,
+    worst_case_error_for_strategy,
+)
+from .variance import (
+    geometric_budget_error,
+    kdtree_level_bound,
+    kdtree_touched_bound,
+    optimal_geometric_epsilons,
+    quadtree_level_bound,
+    quadtree_touched_bound,
+    query_error_bound,
+    uniform_budget_error,
+    worst_case_error_curves,
+)
+
+__all__ = [
+    "quadtree_level_bound",
+    "kdtree_level_bound",
+    "quadtree_touched_bound",
+    "kdtree_touched_bound",
+    "query_error_bound",
+    "uniform_budget_error",
+    "geometric_budget_error",
+    "worst_case_error_curves",
+    "optimal_geometric_epsilons",
+    "worst_case_error_for_strategy",
+    "empirical_error_for_strategy",
+    "best_geometric_ratio",
+    "compare_strategies",
+    "StrategyComparison",
+]

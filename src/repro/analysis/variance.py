@@ -1,0 +1,136 @@
+"""Analytical error bounds of Section 4.
+
+This module contains the closed-form quantities the paper derives before any
+experiment is run:
+
+* **Lemma 2** — bounds on ``n_i``, the number of nodes at level ``i`` that a
+  range query touches, for quadtrees and kd-trees in two dimensions, plus the
+  resulting bound on ``n(Q)``;
+* **Equation (1)** — the query variance ``Err(Q) = sum_i 2 n_i / eps_i^2``;
+* **Lemma 3** — the geometrically-optimal budget and its error bound;
+* the two worst-case curves plotted in **Figure 2**:
+  ``Err_unif(h) = (h+1)^2 (2^{h+1} - 1)`` and
+  ``Err_geom(h) = ((2^{(h+1)/3} - 1) / (2^{1/3} - 1))^3`` (both in units of
+  ``16 / eps^2``).
+
+These functions double as the oracle for the property tests, which check that
+the simulated query processing never touches more nodes than Lemma 2 allows
+and that the geometric allocation indeed minimises the Equation (1) bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "quadtree_level_bound",
+    "kdtree_level_bound",
+    "quadtree_touched_bound",
+    "kdtree_touched_bound",
+    "query_error_bound",
+    "uniform_budget_error",
+    "geometric_budget_error",
+    "worst_case_error_curves",
+    "optimal_geometric_epsilons",
+]
+
+
+def quadtree_level_bound(height: int, level: int) -> int:
+    """Lemma 2(i): a query touches at most ``8 * 2^{h-i}`` quadtree nodes at level ``i``.
+
+    The bound is additionally capped at the number of nodes on the level,
+    ``4^{h-i}``, as noted in the paper's footnote.
+    """
+    if not 0 <= level <= height:
+        raise ValueError("level must lie in [0, height]")
+    return int(min(8 * 2 ** (height - level), 4 ** (height - level)))
+
+
+def kdtree_level_bound(height: int, level: int) -> int:
+    """Lemma 2(ii): a query touches at most ``8 * 2^{floor((h-i+1)/2)}`` kd-tree nodes at level ``i``."""
+    if not 0 <= level <= height:
+        raise ValueError("level must lie in [0, height]")
+    return int(min(8 * 2 ** ((height - level + 1) // 2), 2 ** (height - level)))
+
+
+def quadtree_touched_bound(height: int) -> int:
+    """Lemma 2(i): ``n(Q) <= 8 (2^{h+1} - 1)`` for a quadtree of height ``h``."""
+    if height < 0:
+        raise ValueError("height must be non-negative")
+    return 8 * (2 ** (height + 1) - 1)
+
+
+def kdtree_touched_bound(height: int) -> int:
+    """Lemma 2(ii): ``n(Q) <= 8 (2^{floor((h+1)/2)+1} - 1)`` for a kd-tree of height ``h``."""
+    if height < 0:
+        raise ValueError("height must be non-negative")
+    return 8 * (2 ** ((height + 1) // 2 + 1) - 1)
+
+
+def query_error_bound(level_counts: Dict[int, int], epsilons: Sequence[float]) -> float:
+    """Equation (1): ``Err(Q) = sum_i 2 n_i / eps_i^2`` for given per-level touch counts."""
+    eps = np.asarray(epsilons, dtype=float)
+    total = 0.0
+    for level, n_i in level_counts.items():
+        if not 0 <= level < eps.size:
+            raise ValueError(f"level {level} outside the epsilon allocation")
+        if n_i == 0:
+            continue
+        if eps[level] <= 0:
+            raise ValueError(f"level {level} is touched but has zero budget")
+        total += 2.0 * n_i / (eps[level] ** 2)
+    return total
+
+
+def uniform_budget_error(height: int, epsilon: float = 1.0) -> float:
+    """Worst-case Err(Q) bound for the uniform budget (Section 4.2).
+
+    ``Err_unif = (16 / eps^2) * (h+1)^2 * (2^{h+1} - 1)`` — the curve labelled
+    "uniform noise" in Figure 2 (the figure plots it in units of 16/eps^2).
+    """
+    if height < 0:
+        raise ValueError("height must be non-negative")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    return (16.0 / epsilon**2) * (height + 1) ** 2 * (2 ** (height + 1) - 1)
+
+
+def geometric_budget_error(height: int, epsilon: float = 1.0) -> float:
+    """Worst-case Err(Q) bound for the geometric budget (Lemma 3).
+
+    ``Err_geom = (16 / eps^2) * ((2^{(h+1)/3} - 1) / (2^{1/3} - 1))^3``, which the
+    paper further upper-bounds by ``2^{h+7} / eps^2``.
+    """
+    if height < 0:
+        raise ValueError("height must be non-negative")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    cube_root_2 = 2.0 ** (1.0 / 3.0)
+    ratio = (2.0 ** ((height + 1) / 3.0) - 1.0) / (cube_root_2 - 1.0)
+    return (16.0 / epsilon**2) * ratio**3
+
+
+def worst_case_error_curves(heights: Sequence[int], epsilon: float = 1.0) -> Dict[str, np.ndarray]:
+    """The two series of Figure 2, in units of ``16 / eps^2`` as the paper plots them."""
+    hs = np.asarray(list(heights), dtype=int)
+    unit = 16.0 / epsilon**2
+    uniform = np.array([uniform_budget_error(int(h), epsilon) / unit for h in hs])
+    geometric = np.array([geometric_budget_error(int(h), epsilon) / unit for h in hs])
+    return {"height": hs, "uniform": uniform, "geometric": geometric}
+
+
+def optimal_geometric_epsilons(height: int, epsilon: float) -> Tuple[float, ...]:
+    """The optimal allocation of Lemma 3: ``eps_i = 2^{(h-i)/3} eps (2^{1/3}-1)/(2^{(h+1)/3}-1)``.
+
+    Identical to :func:`repro.core.budget.geometric_level_epsilons`; re-derived
+    here from the closed form so the tests can cross-check the two.
+    """
+    if height < 0:
+        raise ValueError("height must be non-negative")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    cube_root_2 = 2.0 ** (1.0 / 3.0)
+    scale = epsilon * (cube_root_2 - 1.0) / (2.0 ** ((height + 1) / 3.0) - 1.0)
+    return tuple(float(2.0 ** ((height - i) / 3.0) * scale) for i in range(height + 1))

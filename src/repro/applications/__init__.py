@@ -1,0 +1,15 @@
+"""Applications built on top of private spatial decompositions."""
+
+from .record_matching import (
+    BlockingResult,
+    blocking_from_psd,
+    build_blocking_tree,
+    record_matching_experiment,
+)
+
+__all__ = [
+    "BlockingResult",
+    "blocking_from_psd",
+    "build_blocking_tree",
+    "record_matching_experiment",
+]

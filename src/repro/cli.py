@@ -1,0 +1,219 @@
+"""Command-line interface for building, querying and benchmarking PSDs.
+
+Three sub-commands cover the life-cycle of a private release:
+
+* ``build``  — read a point dataset (``.npy`` or CSV with one point per row,
+  or the built-in synthetic road data), build a chosen PSD variant under a
+  privacy budget, and write the released structure to a JSON file;
+* ``query``  — load a released JSON structure and answer one or more
+  rectangular range queries from it (no access to the original data needed);
+* ``experiment`` — run one of the paper-figure experiments at a chosen scale
+  and print its series, the same code path the benchmark suite uses.
+
+Examples
+--------
+::
+
+    python -m repro.cli build --synthetic 100000 --variant quad-opt \
+        --epsilon 0.5 --height 8 --output release.json
+    python -m repro.cli query release.json --rect=-123,46,-121,48
+    python -m repro.cli experiment fig3 --epsilons 0.5 --n-points 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .core import (
+    build_private_hilbert_rtree,
+    build_private_kdtree,
+    build_private_quadtree,
+    load_psd,
+    save_psd,
+)
+from .core.kdtree import KDTREE_VARIANTS
+from .core.quadtree import QUADTREE_VARIANTS
+from .data import road_intersections
+from .experiments import (
+    ExperimentScale,
+    format_table,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7a,
+    run_fig7b,
+)
+from .geometry import Domain, Rect, TIGER_DOMAIN, bounding_rect
+
+__all__ = ["main", "build_parser"]
+
+
+# ----------------------------------------------------------------------
+# Input / output helpers
+# ----------------------------------------------------------------------
+def _load_points(args) -> np.ndarray:
+    if args.synthetic is not None:
+        return road_intersections(n=args.synthetic, rng=args.seed)
+    if args.input is None:
+        raise SystemExit("either --input or --synthetic must be given")
+    path = args.input
+    if path.endswith(".npy"):
+        return np.load(path)
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        rows = [[float(v) for v in row] for row in reader if row and not row[0].startswith("#")]
+    if not rows:
+        raise SystemExit(f"no points found in {path}")
+    return np.asarray(rows, dtype=float)
+
+
+def _resolve_domain(args, points: np.ndarray) -> Domain:
+    if args.domain == "tiger":
+        return TIGER_DOMAIN
+    if args.domain == "auto":
+        pad = 1e-9 + 1e-6 * float(np.max(np.abs(points), initial=1.0))
+        return Domain(bounding_rect(points, pad=pad), name="auto")
+    parts = [float(v) for v in args.domain.split(",")]
+    if len(parts) % 2 != 0:
+        raise SystemExit("--domain must be 'tiger', 'auto' or lo1,lo2,...,hi1,hi2,...")
+    half = len(parts) // 2
+    return Domain.from_bounds(parts[:half], parts[half:], name="cli")
+
+
+def _parse_rect(spec: str, dims: int) -> Rect:
+    values = [float(v) for v in spec.split(",")]
+    if len(values) != 2 * dims:
+        raise SystemExit(f"--rect needs {2 * dims} comma-separated numbers (lo..., hi...)")
+    return Rect(tuple(values[:dims]), tuple(values[dims:]))
+
+
+# ----------------------------------------------------------------------
+# Sub-commands
+# ----------------------------------------------------------------------
+def _cmd_build(args) -> int:
+    points = _load_points(args)
+    domain = _resolve_domain(args, points)
+    variant = args.variant
+    if variant in QUADTREE_VARIANTS:
+        psd = build_private_quadtree(points, domain, args.height, args.epsilon,
+                                     variant=variant, prune_threshold=args.prune, rng=args.seed)
+    elif variant in KDTREE_VARIANTS:
+        psd = build_private_kdtree(points, domain, args.height, args.epsilon,
+                                   variant=variant, prune_threshold=args.prune, rng=args.seed)
+    elif variant == "hilbert-r":
+        tree = build_private_hilbert_rtree(points, domain, 2 * args.height, args.epsilon,
+                                           prune_threshold=args.prune, rng=args.seed)
+        psd = tree.psd
+    else:
+        raise SystemExit(f"unknown variant {variant!r}")
+    psd.strip_private_fields()
+    save_psd(psd, args.output)
+    print(f"released {psd.name}: {psd.node_count()} nodes, height {psd.height}, "
+          f"epsilon {args.epsilon}, written to {args.output}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    psd = load_psd(args.release)
+    dims = psd.domain.dims
+    for spec in args.rect:
+        rect = _parse_rect(spec, dims)
+        print(f"{spec}\t{psd.range_query(rect):.2f}")
+    return 0
+
+
+_EXPERIMENTS = {
+    "fig2": lambda args, scale: (run_fig2(), ["height", "err_uniform", "err_geometric", "ratio"]),
+    "fig3": lambda args, scale: (
+        run_fig3(scale=scale, epsilons=args.epsilons, rng=args.seed),
+        ["epsilon", "variant", "shape", "median_rel_error_pct"],
+    ),
+    "fig4": lambda args, scale: (
+        run_fig4(n_points=scale.n_points, rng=args.seed),
+        ["method", "depth", "rank_error_pct", "time_sec"],
+    ),
+    "fig5": lambda args, scale: (
+        run_fig5(scale=scale, epsilons=args.epsilons, rng=args.seed),
+        ["epsilon", "variant", "shape", "median_rel_error_pct"],
+    ),
+    "fig6": lambda args, scale: (
+        run_fig6(scale=scale, rng=args.seed),
+        ["method", "height", "shape", "median_rel_error_pct"],
+    ),
+    "fig7a": lambda args, scale: (
+        run_fig7a(scale=scale, rng=args.seed),
+        ["method", "build_time_sec", "n_points"],
+    ),
+    "fig7b": lambda args, scale: (
+        run_fig7b(n_per_party=max(scale.n_points // 10, 1000), rng=args.seed),
+        ["method", "epsilon", "reduction_ratio", "pairs_completeness"],
+    ),
+}
+
+
+def _cmd_experiment(args) -> int:
+    scale = ExperimentScale(n_points=args.n_points, n_queries=args.n_queries,
+                            quad_height=args.quad_height, kd_height=args.kd_height)
+    runner = _EXPERIMENTS[args.figure]
+    rows, columns = runner(args, scale)
+    print(format_table(rows, columns, title=f"Experiment {args.figure}"))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build a PSD and write the released JSON")
+    build.add_argument("--input", help="input points (.npy or CSV, one point per row)")
+    build.add_argument("--synthetic", type=int, default=None,
+                       help="generate this many synthetic road-intersection points instead of reading --input")
+    build.add_argument("--domain", default="tiger",
+                       help="'tiger', 'auto', or explicit bounds lo1,lo2,hi1,hi2 (default: tiger)")
+    build.add_argument("--variant", default="quad-opt",
+                       help=f"one of {sorted(QUADTREE_VARIANTS) + sorted(KDTREE_VARIANTS) + ['hilbert-r']}")
+    build.add_argument("--epsilon", type=float, default=0.5, help="total privacy budget")
+    build.add_argument("--height", type=int, default=8, help="tree height")
+    build.add_argument("--prune", type=float, default=None, help="optional pruning threshold")
+    build.add_argument("--seed", type=int, default=0, help="random seed")
+    build.add_argument("--output", required=True, help="path of the released JSON file")
+    build.set_defaults(func=_cmd_build)
+
+    query = sub.add_parser("query", help="answer range queries from a released JSON structure")
+    query.add_argument("release", help="path of the released JSON file")
+    query.add_argument("--rect", action="append", required=True,
+                       help="query rectangle as lo1,lo2,...,hi1,hi2,... (repeatable)")
+    query.set_defaults(func=_cmd_query)
+
+    experiment = sub.add_parser("experiment", help="run one of the paper-figure experiments")
+    experiment.add_argument("figure", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--n-points", type=int, default=20_000)
+    experiment.add_argument("--n-queries", type=int, default=30)
+    experiment.add_argument("--quad-height", type=int, default=7)
+    experiment.add_argument("--kd-height", type=int, default=5)
+    experiment.add_argument("--epsilons", type=float, nargs="+", default=(0.5,))
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used both by ``python -m repro.cli`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

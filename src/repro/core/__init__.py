@@ -1,0 +1,94 @@
+"""The paper's contribution: private spatial decompositions and their optimisations."""
+
+from .budget import (
+    BudgetStrategy,
+    CustomBudget,
+    GeometricBudget,
+    LeafOnlyBudget,
+    LevelSkippingBudget,
+    UniformBudget,
+    geometric_level_epsilons,
+    resolve_budget,
+    uniform_level_epsilons,
+)
+from .builder import BudgetSplit, build_psd, populate_noisy_counts
+from .hilbert_rtree import (
+    BinaryMedianSplit,
+    PrivateHilbertRTree,
+    build_private_hilbert_rtree,
+)
+from .kdtree import KDTREE_VARIANTS, KDTreeConfig, build_private_kdtree
+from .postprocess import apply_ols, check_consistency, ols_estimate_tree
+from .pruning import count_pruned_nodes, prune_low_count_subtrees
+from .quadtree import QUADTREE_VARIANTS, QuadtreeConfig, build_private_quadtree
+from .query import (
+    contributing_nodes,
+    nodes_touched,
+    nodes_touched_per_level,
+    query_variance,
+    range_query,
+)
+from .serialization import load_psd, psd_from_dict, psd_to_dict, save_psd
+from .workload_budget import (
+    WorkloadAwareBudget,
+    measure_level_usage,
+    workload_aware_quadtree_budget,
+)
+from .splits import (
+    CellKDSplit,
+    HybridSplit,
+    KDSplit,
+    QuadSplit,
+    SplitRule,
+    grid_median_along_axis,
+)
+from .tree import PrivateSpatialDecomposition, PSDNode
+
+__all__ = [
+    "PSDNode",
+    "PrivateSpatialDecomposition",
+    "build_psd",
+    "populate_noisy_counts",
+    "BudgetSplit",
+    "BudgetStrategy",
+    "UniformBudget",
+    "GeometricBudget",
+    "LeafOnlyBudget",
+    "LevelSkippingBudget",
+    "CustomBudget",
+    "resolve_budget",
+    "uniform_level_epsilons",
+    "geometric_level_epsilons",
+    "SplitRule",
+    "QuadSplit",
+    "KDSplit",
+    "HybridSplit",
+    "CellKDSplit",
+    "grid_median_along_axis",
+    "apply_ols",
+    "ols_estimate_tree",
+    "check_consistency",
+    "prune_low_count_subtrees",
+    "count_pruned_nodes",
+    "range_query",
+    "nodes_touched",
+    "nodes_touched_per_level",
+    "query_variance",
+    "contributing_nodes",
+    "build_private_quadtree",
+    "QUADTREE_VARIANTS",
+    "QuadtreeConfig",
+    "build_private_kdtree",
+    "KDTREE_VARIANTS",
+    "KDTreeConfig",
+    "build_private_hilbert_rtree",
+    "PrivateHilbertRTree",
+    "BinaryMedianSplit",
+    "psd_to_dict",
+    "psd_from_dict",
+    "save_psd",
+    "load_psd",
+    "WorkloadAwareBudget",
+    "measure_level_usage",
+    "workload_aware_quadtree_budget",
+]

@@ -1,0 +1,202 @@
+"""Privacy-budget strategies for the node counts of a PSD (Section 4).
+
+Given a total count budget ``eps`` and a tree of height ``h`` (leaves at level
+0, root at level ``h``), a *budget strategy* chooses the per-level Laplace
+parameters ``eps_i`` with ``sum_i eps_i = eps`` so that the sequential
+composition along every root-to-leaf path stays within budget.
+
+The paper analyses:
+
+* **uniform** — ``eps_i = eps / (h + 1)`` (the choice of prior work);
+* **geometric** — ``eps_i ∝ 2^{(h - i) / 3}`` (Lemma 3), the optimal choice
+  under the Lemma 2 bound on how many nodes per level a query touches, which
+  gives leaves the largest share of the budget;
+* **leaf-only** — the whole budget on the leaves (the strategy of [12], where
+  the hierarchy is ignored at query time);
+* **level-skipping** — ``eps_i = 0`` on selected levels, conceptually
+  equivalent to increasing the fanout;
+* arbitrary **custom** weights, for workload-aware allocations.
+
+All strategies are value objects exposing ``allocate(height, epsilon)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BudgetStrategy",
+    "UniformBudget",
+    "GeometricBudget",
+    "LeafOnlyBudget",
+    "LevelSkippingBudget",
+    "CustomBudget",
+    "resolve_budget",
+    "geometric_level_epsilons",
+    "uniform_level_epsilons",
+]
+
+
+def _check(height: int, epsilon: float) -> None:
+    if height < 0:
+        raise ValueError("height must be non-negative")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+
+
+def uniform_level_epsilons(height: int, epsilon: float) -> Tuple[float, ...]:
+    """``eps_i = eps / (h + 1)`` for every level ``i``."""
+    _check(height, epsilon)
+    share = epsilon / (height + 1)
+    return tuple(share for _ in range(height + 1))
+
+
+def geometric_level_epsilons(height: int, epsilon: float, ratio: float = 2.0 ** (1.0 / 3.0)) -> Tuple[float, ...]:
+    """The geometric allocation of Lemma 3.
+
+    ``eps_i = ratio^{h-i} * eps * (ratio - 1) / (ratio^{h+1} - 1)`` with the
+    paper's optimal ``ratio = 2^{1/3}``: the budget grows geometrically from
+    the root (level ``h``) towards the leaves (level 0), so leaf counts are the
+    most accurate.
+    """
+    _check(height, epsilon)
+    if ratio <= 1.0:
+        raise ValueError("ratio must exceed 1 for a geometric allocation")
+    levels = np.arange(height + 1)
+    weights = ratio ** (height - levels).astype(float)
+    eps = epsilon * weights / weights.sum()
+    return tuple(float(e) for e in eps)
+
+
+class BudgetStrategy(ABC):
+    """Interface of a per-level count-budget allocation."""
+
+    name: str = "budget"
+
+    @abstractmethod
+    def allocate(self, height: int, epsilon: float) -> Tuple[float, ...]:
+        """Return ``eps_0 .. eps_h`` (leaves first) summing to ``epsilon``."""
+
+    def validate(self, height: int, epsilon: float) -> Tuple[float, ...]:
+        """Allocate and assert the composition constraint holds."""
+        eps = self.allocate(height, epsilon)
+        if len(eps) != height + 1:
+            raise ValueError(f"{self.name}: expected {height + 1} levels, got {len(eps)}")
+        if any(e < 0 for e in eps):
+            raise ValueError(f"{self.name}: negative per-level budget")
+        if not np.isclose(sum(eps), epsilon, rtol=1e-9, atol=1e-12):
+            raise ValueError(f"{self.name}: per-level budgets sum to {sum(eps)} != {epsilon}")
+        return eps
+
+
+@dataclass(frozen=True)
+class UniformBudget(BudgetStrategy):
+    """Equal share per level — the baseline used by prior work [11]."""
+
+    name: str = "uniform"
+
+    def allocate(self, height: int, epsilon: float) -> Tuple[float, ...]:
+        return uniform_level_epsilons(height, epsilon)
+
+
+@dataclass(frozen=True)
+class GeometricBudget(BudgetStrategy):
+    """The paper's geometric allocation (Lemma 3), increasing towards the leaves."""
+
+    ratio: float = 2.0 ** (1.0 / 3.0)
+    name: str = "geometric"
+
+    def allocate(self, height: int, epsilon: float) -> Tuple[float, ...]:
+        return geometric_level_epsilons(height, epsilon, ratio=self.ratio)
+
+
+@dataclass(frozen=True)
+class LeafOnlyBudget(BudgetStrategy):
+    """All budget on the leaves (level 0); internal counts are not released.
+
+    This is the allocation used by [12] and by the record-matching
+    application, where queries are answered over the leaf grid only.
+    """
+
+    name: str = "leaf-only"
+
+    def allocate(self, height: int, epsilon: float) -> Tuple[float, ...]:
+        _check(height, epsilon)
+        eps = [0.0] * (height + 1)
+        eps[0] = epsilon
+        return tuple(eps)
+
+
+@dataclass(frozen=True)
+class LevelSkippingBudget(BudgetStrategy):
+    """Release counts only on every ``stride``-th level (others get zero).
+
+    Setting ``eps_i = 0`` for some levels "is conceptually equivalent to
+    increasing the fanout of nodes in the tree" — this strategy exposes that
+    design point.  The released levels share the budget geometrically by
+    default, matching how the flattened kd-tree is treated.
+    """
+
+    stride: int = 2
+    geometric: bool = True
+    name: str = "level-skipping"
+
+    def allocate(self, height: int, epsilon: float) -> Tuple[float, ...]:
+        _check(height, epsilon)
+        if self.stride < 1:
+            raise ValueError("stride must be at least 1")
+        released = [i for i in range(height + 1) if (height - i) % self.stride == 0]
+        if 0 not in released:
+            released.append(0)
+        released = sorted(set(released))
+        if self.geometric:
+            weights = np.array([2.0 ** ((height - i) / 3.0) for i in released])
+        else:
+            weights = np.ones(len(released))
+        shares = epsilon * weights / weights.sum()
+        eps = [0.0] * (height + 1)
+        for level, share in zip(released, shares):
+            eps[level] = float(share)
+        return tuple(eps)
+
+
+@dataclass(frozen=True)
+class CustomBudget(BudgetStrategy):
+    """Arbitrary non-negative per-level weights, normalised to sum to ``epsilon``."""
+
+    weights: Tuple[float, ...] = ()
+    name: str = "custom"
+
+    def allocate(self, height: int, epsilon: float) -> Tuple[float, ...]:
+        _check(height, epsilon)
+        w = np.asarray(self.weights, dtype=float)
+        if w.shape[0] != height + 1:
+            raise ValueError("weights must have exactly height + 1 entries (levels 0..h)")
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ValueError("weights must be non-negative and not all zero")
+        eps = epsilon * w / w.sum()
+        return tuple(float(e) for e in eps)
+
+
+_NAMED = {
+    "uniform": UniformBudget(),
+    "geometric": GeometricBudget(),
+    "geo": GeometricBudget(),
+    "leaf-only": LeafOnlyBudget(),
+    "leaf_only": LeafOnlyBudget(),
+    "leaves": LeafOnlyBudget(),
+}
+
+
+def resolve_budget(strategy: "str | BudgetStrategy") -> BudgetStrategy:
+    """Look a strategy up by name, or pass an instance straight through."""
+    if isinstance(strategy, BudgetStrategy):
+        return strategy
+    key = str(strategy).lower()
+    if key not in _NAMED:
+        raise KeyError(f"unknown budget strategy {strategy!r}; available: {sorted(set(_NAMED))}")
+    return _NAMED[key]

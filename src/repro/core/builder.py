@@ -1,0 +1,206 @@
+"""Generic PSD builder: structure construction plus noisy-count population.
+
+Every PSD variant in the paper is an instance of the same recipe:
+
+1. split the privacy budget ``eps`` into a *median* share (spent on choosing
+   data-dependent split points) and a *count* share (spent on node counts) —
+   Section 6.2, with the paper's recommended 30 / 70 split as default;
+2. build a complete tree of height ``h`` by recursively applying a
+   :class:`~repro.core.splits.SplitRule`, spending the per-level median budget
+   at every data-dependent level;
+3. release a Laplace-noised count for every node, with the per-level count
+   parameters chosen by a :class:`~repro.core.budget.BudgetStrategy`
+   (Section 4);
+4. optionally post-process the counts with the OLS estimator (Section 5) and
+   prune low-count subtrees (Section 7).
+
+:func:`build_psd` implements this recipe once; the convenience constructors in
+:mod:`repro.core.quadtree` and :mod:`repro.core.kdtree` only choose the pieces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.domain import Domain
+from ..privacy.accountant import PrivacyAccountant
+from ..privacy.mechanisms import laplace_noise
+from ..privacy.rng import RngLike, ensure_rng
+from .budget import BudgetStrategy, resolve_budget
+from .splits import SplitRule
+from .tree import PSDNode, PrivateSpatialDecomposition
+
+__all__ = ["BudgetSplit", "build_psd", "populate_noisy_counts"]
+
+
+@dataclass(frozen=True)
+class BudgetSplit:
+    """How the total budget is divided between counts and medians (Section 6.2).
+
+    ``count_fraction`` defaults to the paper's experimentally-best 0.7 for
+    data-dependent trees; for data-independent trees the builder automatically
+    assigns everything to counts regardless of this value.
+    """
+
+    count_fraction: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not 0 < self.count_fraction <= 1:
+            raise ValueError("count_fraction must lie in (0, 1]")
+
+    def partition(self, epsilon: float, data_dependent: bool) -> tuple[float, float]:
+        """Return ``(epsilon_count, epsilon_median)``."""
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if not data_dependent:
+            return epsilon, 0.0
+        eps_count = epsilon * self.count_fraction
+        return eps_count, epsilon - eps_count
+
+
+def build_psd(
+    points: np.ndarray,
+    domain: Domain,
+    height: int,
+    split_rule: SplitRule,
+    epsilon: float,
+    count_budget: "str | BudgetStrategy" = "geometric",
+    budget_split: Optional[BudgetSplit] = None,
+    rng: RngLike = None,
+    name: str = "psd",
+    postprocess: bool = False,
+    prune_threshold: Optional[float] = None,
+    noiseless_counts: bool = False,
+    accountant: Optional[PrivacyAccountant] = None,
+    structure_epsilon_charged: float = 0.0,
+) -> PrivateSpatialDecomposition:
+    """Build a complete private spatial decomposition.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array of private data points, all inside ``domain``.
+    domain:
+        The public data domain (root rectangle).
+    height:
+        Tree height ``h``; leaves at level 0, root at level ``h``.
+    split_rule:
+        How nodes are divided (quadtree, kd, hybrid, cell-based, ...).
+    epsilon:
+        Total privacy budget for this release (medians + counts).  Budget
+        already spent on auxiliary released structures (e.g. the noisy grid of
+        the cell-based kd-tree) should be *excluded* here and reported via
+        ``structure_epsilon_charged`` so the accountant still sees the full
+        picture.
+    count_budget:
+        Budget strategy (or its name) for the per-level count parameters.
+    budget_split:
+        Count/median split; defaults to 70 % counts / 30 % medians for
+        data-dependent rules.
+    postprocess:
+        Apply the OLS post-processing after populating counts.
+    prune_threshold:
+        If given, prune subtrees below nodes whose released count falls under
+        the threshold (applied after post-processing, as in Section 7).
+    noiseless_counts:
+        Release exact counts (used only for the non-private ``kd-pure``
+        baseline; the result is *not* differentially private).
+    accountant:
+        Optionally, an existing accountant to charge; one is created otherwise.
+    structure_epsilon_charged:
+        Budget already charged to the accountant by the caller for structure
+        (informational; included in the accountant's total budget check).
+    """
+    if height < 0:
+        raise ValueError("height must be non-negative")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    gen = ensure_rng(rng)
+    pts = domain.validate_points(points)
+
+    dd_levels = split_rule.data_dependent_levels(height)
+    split = budget_split or BudgetSplit()
+    eps_count_total, eps_median_total = split.partition(epsilon, data_dependent=bool(dd_levels))
+    eps_median_per_level = eps_median_total / len(dd_levels) if dd_levels else 0.0
+
+    strategy = resolve_budget(count_budget)
+    count_epsilons = strategy.validate(height, eps_count_total)
+
+    ledger = accountant or PrivacyAccountant(total_budget=epsilon + structure_epsilon_charged)
+    for level in dd_levels:
+        ledger.charge(eps_median_per_level, level=level, kind="median")
+
+    # ------------------------------------------------------------------
+    # Structure construction (recursive splitting).
+    # ------------------------------------------------------------------
+    def grow(rect, node_points, level) -> PSDNode:
+        node = PSDNode(rect=rect, level=level, _true_count=int(node_points.shape[0]))
+        if level == 0:
+            return node
+        eps_med = eps_median_per_level if split_rule.is_data_dependent(level, height) else 0.0
+        children = split_rule.split(rect, node_points, level, height, domain, eps_med, rng=gen)
+        if len(children) != split_rule.fanout:
+            raise RuntimeError(
+                f"split rule {split_rule!r} produced {len(children)} children, expected {split_rule.fanout}"
+            )
+        node.children = [grow(child_rect, child_points, level - 1) for child_rect, child_points in children]
+        return node
+
+    root = grow(domain.rect, pts, height)
+
+    psd = PrivateSpatialDecomposition(
+        root=root,
+        domain=domain,
+        height=height,
+        fanout=split_rule.fanout,
+        count_epsilons=count_epsilons,
+        accountant=ledger,
+        name=name,
+        metadata={
+            "split_rule": getattr(split_rule, "name", type(split_rule).__name__),
+            "count_budget": getattr(strategy, "name", type(strategy).__name__),
+            "epsilon": epsilon,
+            "epsilon_count": eps_count_total,
+            "epsilon_median": eps_median_total,
+            "structure_epsilon": structure_epsilon_charged,
+        },
+    )
+
+    populate_noisy_counts(psd, rng=gen, noiseless=noiseless_counts)
+    for level, eps in enumerate(count_epsilons):
+        if eps > 0:
+            ledger.charge(eps, level=level, kind="count")
+    ledger.assert_within_budget()
+
+    if postprocess:
+        psd.postprocess()
+    if prune_threshold is not None:
+        psd.prune(prune_threshold)
+    return psd
+
+
+def populate_noisy_counts(
+    psd: PrivateSpatialDecomposition,
+    rng: RngLike = None,
+    noiseless: bool = False,
+) -> PrivateSpatialDecomposition:
+    """(Re)populate every node's released count from its true count.
+
+    Levels with a zero count parameter release no count (``nan``).  With
+    ``noiseless=True`` exact counts are stored instead — used by the
+    non-private baselines; the result is then *not* differentially private.
+    """
+    gen = ensure_rng(rng)
+    for node in psd.nodes():
+        eps = psd.count_epsilons[node.level]
+        if noiseless:
+            node.noisy_count = float(node._true_count)
+        elif eps > 0:
+            node.noisy_count = float(node._true_count) + float(laplace_noise(1.0 / eps, rng=gen))
+        else:
+            node.noisy_count = float("nan")
+        node.post_count = None
+    return psd

@@ -1,0 +1,51 @@
+"""Pruning of low-count subtrees (Section 7).
+
+Both data-dependent and data-independent trees can contain nodes with few or
+no points; keeping their descendants only adds noise to queries that cross the
+region.  The paper prunes the released tree by removing the descendants of any
+node whose *noisy* (or post-processed) count falls below a threshold ``m`` —
+crucially the decision uses only released values, so pruning is
+post-processing and costs no privacy.  The paper applies it after the OLS
+step, over a complete tree, and uses ``m = 32`` in the kd-tree experiments.
+"""
+
+from __future__ import annotations
+
+from .tree import PrivateSpatialDecomposition, PSDNode
+
+__all__ = ["prune_low_count_subtrees", "count_pruned_nodes"]
+
+
+def prune_low_count_subtrees(psd: PrivateSpatialDecomposition, threshold: float) -> int:
+    """Remove the descendants of every node whose released count is below ``threshold``.
+
+    Returns the number of nodes removed.  The traversal is top-down: once a
+    node is cut to a leaf its former descendants are never examined, matching
+    the paper's "cut off the tree at this point".  Nodes that never released a
+    count (zero budget at their level) are never used as cut points.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    removed = 0
+    stack = [psd.root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            continue
+        count = node.released_count
+        has_count = count == count  # not NaN
+        if has_count and count < threshold:
+            removed += sum(child.subtree_size() for child in node.children)
+            node.children = []
+            continue
+        stack.extend(node.children)
+    return removed
+
+
+def count_pruned_nodes(psd: PrivateSpatialDecomposition) -> int:
+    """Number of nodes missing relative to a complete tree of the same height.
+
+    Useful for reporting how aggressive a pruning threshold was.
+    """
+    complete = sum(psd.fanout ** (psd.height - level) for level in range(psd.height, -1, -1))
+    return complete - psd.node_count()

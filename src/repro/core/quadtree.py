@@ -1,0 +1,88 @@
+"""Private quadtrees (the paper's data-independent PSD) and their variants.
+
+The quadtree's structure depends only on the domain, so the entire privacy
+budget goes to node counts.  The four configurations compared in Figure 3 are
+exposed by :data:`QUADTREE_VARIANTS`:
+
+* ``quad-baseline`` — uniform budget, no post-processing (the prior-work
+  setup of [11]);
+* ``quad-geo``      — geometric budget (Section 4), no post-processing;
+* ``quad-post``     — uniform budget plus OLS post-processing (Section 5);
+* ``quad-opt``      — geometric budget plus OLS post-processing (both
+  optimisations, the configuration used everywhere else in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..geometry.domain import Domain
+from ..privacy.rng import RngLike
+from .builder import build_psd
+from .splits import QuadSplit
+from .tree import PrivateSpatialDecomposition
+
+__all__ = ["QuadtreeConfig", "QUADTREE_VARIANTS", "build_private_quadtree"]
+
+
+@dataclass(frozen=True)
+class QuadtreeConfig:
+    """One point in the quadtree design space (budget strategy x post-processing)."""
+
+    name: str
+    count_budget: str = "geometric"
+    postprocess: bool = True
+
+
+#: The four variants of Figure 3, keyed by the paper's labels.
+QUADTREE_VARIANTS: Dict[str, QuadtreeConfig] = {
+    "quad-baseline": QuadtreeConfig("quad-baseline", count_budget="uniform", postprocess=False),
+    "quad-geo": QuadtreeConfig("quad-geo", count_budget="geometric", postprocess=False),
+    "quad-post": QuadtreeConfig("quad-post", count_budget="uniform", postprocess=True),
+    "quad-opt": QuadtreeConfig("quad-opt", count_budget="geometric", postprocess=True),
+}
+
+
+def build_private_quadtree(
+    points: np.ndarray,
+    domain: Domain,
+    height: int,
+    epsilon: float,
+    variant: "str | QuadtreeConfig" = "quad-opt",
+    prune_threshold: Optional[float] = None,
+    rng: RngLike = None,
+) -> PrivateSpatialDecomposition:
+    """Build one of the Figure-3 private quadtree variants.
+
+    Parameters
+    ----------
+    points, domain, height, epsilon:
+        Data, public domain, tree height and total privacy budget.
+    variant:
+        One of ``"quad-baseline"``, ``"quad-geo"``, ``"quad-post"``,
+        ``"quad-opt"`` (or an explicit :class:`QuadtreeConfig`).
+    prune_threshold:
+        Optional low-count pruning threshold (applied after post-processing).
+    """
+    if isinstance(variant, QuadtreeConfig):
+        config = variant
+    else:
+        key = str(variant).lower()
+        if key not in QUADTREE_VARIANTS:
+            raise KeyError(f"unknown quadtree variant {variant!r}; available: {sorted(QUADTREE_VARIANTS)}")
+        config = QUADTREE_VARIANTS[key]
+    return build_psd(
+        points=points,
+        domain=domain,
+        height=height,
+        split_rule=QuadSplit(),
+        epsilon=epsilon,
+        count_budget=config.count_budget,
+        rng=rng,
+        name=config.name,
+        postprocess=config.postprocess,
+        prune_threshold=prune_threshold,
+    )

@@ -1,0 +1,158 @@
+"""Serialisation of released private spatial decompositions.
+
+A PSD is something a data owner computes once and then *publishes*; consumers
+need to load it without access to the original data.  This module converts a
+:class:`~repro.core.tree.PrivateSpatialDecomposition` to and from a plain
+JSON-compatible dictionary containing only released information: the node
+rectangles, the released (noisy / post-processed) counts, the per-level count
+parameters and the split metadata.  True counts and the accountant's internal
+ledger are intentionally *not* serialised — the output is exactly what a
+privacy-conscious publisher would hand out.
+
+The functions are deliberately defensive on the way back in: structural
+invariants (level consistency, children nested inside parents, matching
+fanout) are validated so a corrupted or hand-edited file fails loudly instead
+of silently producing wrong query answers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Union
+
+from ..geometry.domain import Domain
+from ..geometry.rect import Rect
+from .tree import PrivateSpatialDecomposition, PSDNode
+
+__all__ = ["psd_to_dict", "psd_from_dict", "save_psd", "load_psd"]
+
+_FORMAT_VERSION = 1
+
+
+def _node_to_dict(node: PSDNode) -> Dict:
+    payload: Dict = {
+        "lo": list(node.rect.lo),
+        "hi": list(node.rect.hi),
+        "level": node.level,
+        "noisy_count": None if node.noisy_count != node.noisy_count else node.noisy_count,
+        "post_count": node.post_count,
+    }
+    if node.split_axis is not None:
+        payload["split_axis"] = node.split_axis
+        payload["split_value"] = node.split_value
+    if node.children:
+        payload["children"] = [_node_to_dict(child) for child in node.children]
+    return payload
+
+
+def _node_from_dict(payload: Dict, parent_rect: "Rect | None", expected_level: "int | None") -> PSDNode:
+    rect = Rect(tuple(payload["lo"]), tuple(payload["hi"]))
+    level = int(payload["level"])
+    if expected_level is not None and level != expected_level:
+        raise ValueError(f"node level {level} does not match its depth (expected {expected_level})")
+    if parent_rect is not None and not parent_rect.contains_rect(rect):
+        raise ValueError("child rectangle is not contained in its parent")
+    noisy = payload.get("noisy_count")
+    node = PSDNode(
+        rect=rect,
+        level=level,
+        noisy_count=float("nan") if noisy is None else float(noisy),
+        post_count=None if payload.get("post_count") is None else float(payload["post_count"]),
+        split_axis=payload.get("split_axis"),
+        split_value=payload.get("split_value"),
+    )
+    children = payload.get("children", [])
+    node.children = [_node_from_dict(child, rect, level - 1) for child in children]
+    return node
+
+
+def psd_to_dict(psd: PrivateSpatialDecomposition) -> Dict:
+    """Convert a released PSD into a JSON-compatible dictionary.
+
+    Only released information is included; the private true counts and the
+    accountant are dropped.
+    """
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": psd.name,
+        "height": psd.height,
+        "fanout": psd.fanout,
+        "count_epsilons": list(psd.count_epsilons),
+        "domain": {
+            "lo": list(psd.domain.rect.lo),
+            "hi": list(psd.domain.rect.hi),
+            "name": psd.domain.name,
+        },
+        "metadata": {k: v for k, v in psd.metadata.items() if _is_jsonable(v)},
+        "root": _node_to_dict(psd.root),
+    }
+
+
+def psd_from_dict(payload: Dict) -> PrivateSpatialDecomposition:
+    """Rebuild a :class:`PrivateSpatialDecomposition` from :func:`psd_to_dict` output.
+
+    Raises :class:`ValueError` when the payload is malformed or violates the
+    structural invariants of a PSD.
+    """
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported PSD format version {version!r}")
+    domain_payload = payload["domain"]
+    domain = Domain.from_bounds(domain_payload["lo"], domain_payload["hi"],
+                                name=domain_payload.get("name", "domain"))
+    height = int(payload["height"])
+    root = _node_from_dict(payload["root"], None, height)
+    if root.rect != domain.rect:
+        raise ValueError("root rectangle does not match the declared domain")
+    psd = PrivateSpatialDecomposition(
+        root=root,
+        domain=domain,
+        height=height,
+        fanout=int(payload["fanout"]),
+        count_epsilons=tuple(float(e) for e in payload["count_epsilons"]),
+        accountant=None,
+        name=str(payload.get("name", "psd")),
+        metadata=dict(payload.get("metadata", {})),
+    )
+    _validate_structure(psd)
+    return psd
+
+
+def save_psd(psd: PrivateSpatialDecomposition, destination: Union[str, IO[str]]) -> None:
+    """Serialise ``psd`` as JSON to a path or open text file."""
+    payload = psd_to_dict(psd)
+    if hasattr(destination, "write"):
+        json.dump(payload, destination)
+        return
+    with open(destination, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def load_psd(source: Union[str, IO[str]]) -> PrivateSpatialDecomposition:
+    """Load a PSD previously written by :func:`save_psd`."""
+    if hasattr(source, "read"):
+        payload = json.load(source)
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    return psd_from_dict(payload)
+
+
+def _validate_structure(psd: PrivateSpatialDecomposition) -> None:
+    """Check the invariants a consumer relies on for correct query answering."""
+    for node in psd.nodes():
+        if node.level < 0 or node.level > psd.height:
+            raise ValueError("node level outside [0, height]")
+        if node.children and len(node.children) != psd.fanout:
+            raise ValueError("internal node does not have exactly `fanout` children")
+        for child in node.children:
+            if child.level != node.level - 1:
+                raise ValueError("child level must be one less than its parent's")
+
+
+def _is_jsonable(value) -> bool:
+    try:
+        json.dumps(value)
+        return True
+    except (TypeError, ValueError):
+        return False

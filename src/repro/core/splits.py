@@ -1,0 +1,285 @@
+"""Split rules: how each PSD variant divides a node's region among children.
+
+The paper frames PSDs as a design space in which the only structural choice is
+how a node is split:
+
+* **data-independent** splits (quadtree): every axis is halved at its
+  midpoint, producing ``2^d`` equal children; the structure is public, so no
+  privacy budget is spent on it;
+* **data-dependent** splits (kd-tree family): the node is split at a
+  *privately chosen* median of the points it contains; every private median
+  consumes part of the median budget ``eps_median``;
+* **hybrid** splits: data-dependent for the first ``l`` levels below the root
+  and data-independent afterwards (Section 3.2, found in Section 8.2 to be the
+  most reliably accurate kd variant);
+* **cell-based** splits [26]: medians are read off a fixed-resolution noisy
+  grid paid for once, so individual splits are free;
+* the **noisy-mean** surrogate [12] is a data-dependent split with the mean
+  heuristic as its "median" method.
+
+All rules here produce **fanout-4** children in two dimensions.  For the
+kd-style rules this implements the paper's *flattening*: each level performs a
+private split on the x-axis followed by private splits of the two halves on
+the y-axis, which is equivalent to connecting a binary kd-tree's nodes to
+their grandchildren.  The two sub-splits happen on the same root-to-leaf path,
+so a level's median budget is divided between them (the second stage's two
+medians act on disjoint halves and compose in parallel).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry.domain import Domain
+from ..geometry.rect import Rect, domain_aware_mask
+from ..index.grid import NoisyGrid
+from ..privacy.median import MedianMethod, resolve_median_method, true_median
+from ..privacy.rng import RngLike, ensure_rng
+
+__all__ = [
+    "SplitResult",
+    "SplitRule",
+    "QuadSplit",
+    "KDSplit",
+    "HybridSplit",
+    "CellKDSplit",
+    "grid_median_along_axis",
+]
+
+#: One child produced by a split: its rectangle, the points routed to it, and
+#: optionally the (axis, value) of the private split that created it.
+SplitResult = Tuple[Rect, np.ndarray]
+
+
+def _partition(rect_list: List[Rect], points: np.ndarray, domain: Domain) -> List[SplitResult]:
+    """Route points to child rectangles with domain-aware half-open membership."""
+    results: List[SplitResult] = []
+    for child_rect in rect_list:
+        if points.size:
+            mask = domain_aware_mask(child_rect, points, domain.rect)
+            child_points = points[mask]
+        else:
+            child_points = points
+        results.append((child_rect, child_points))
+    return results
+
+
+class SplitRule(ABC):
+    """Interface of a node-splitting policy."""
+
+    #: Number of children produced per split.
+    fanout: int = 4
+
+    @abstractmethod
+    def is_data_dependent(self, level: int, height: int) -> bool:
+        """Whether splitting a node at ``level`` consumes median budget."""
+
+    @abstractmethod
+    def split(
+        self,
+        rect: Rect,
+        points: np.ndarray,
+        level: int,
+        height: int,
+        domain: Domain,
+        epsilon_median: float,
+        rng: RngLike = None,
+    ) -> List[SplitResult]:
+        """Split a node at ``level`` into ``fanout`` children.
+
+        ``epsilon_median`` is the median budget available *for this level*
+        (zero for data-independent levels).  Implementations must return
+        exactly ``fanout`` children whose rectangles partition ``rect``.
+        """
+
+    def data_dependent_levels(self, height: int) -> List[int]:
+        """Levels (of the node being split) whose splits consume median budget."""
+        return [level for level in range(1, height + 1) if self.is_data_dependent(level, height)]
+
+
+@dataclass(frozen=True)
+class QuadSplit(SplitRule):
+    """Data-independent split into ``2^d`` equal orthants (quadtree)."""
+
+    name: str = "quad"
+
+    @property
+    def fanout(self) -> int:  # type: ignore[override]
+        return 4
+
+    def is_data_dependent(self, level: int, height: int) -> bool:
+        return False
+
+    def split(self, rect, points, level, height, domain, epsilon_median, rng=None):
+        return _partition(list(rect.quad_children()), points, domain)
+
+
+@dataclass(frozen=True)
+class KDSplit(SplitRule):
+    """Flattened (fanout-4) kd split with a private median method.
+
+    ``median_method`` may be a name from :data:`repro.privacy.MEDIAN_METHODS`
+    (``"em"``, ``"ss"``, ``"noisymean"``, ``"cell"``, ``"true"``, ``"ems"``,
+    ``"sss"``) or any callable with the shared median signature.
+    """
+
+    median_method: "str | MedianMethod" = "em"
+    first_axis: int = 0
+    name: str = "kd"
+
+    @property
+    def fanout(self) -> int:  # type: ignore[override]
+        return 4
+
+    def is_data_dependent(self, level: int, height: int) -> bool:
+        return True
+
+    def _median(self, values: np.ndarray, epsilon: float, lo: float, hi: float, rng) -> float:
+        method = resolve_median_method(self.median_method)
+        if method is true_median or epsilon > 0:
+            return float(method(values, epsilon if epsilon > 0 else 1.0, lo, hi, rng=rng))
+        # No budget left for this split: fall back to the midpoint, which is
+        # data independent and therefore free.
+        return (lo + hi) / 2.0
+
+    def split(self, rect, points, level, height, domain, epsilon_median, rng=None):
+        gen = ensure_rng(rng)
+        axis_a = self.first_axis % rect.dims
+        axis_b = (self.first_axis + 1) % rect.dims
+        method_is_private = resolve_median_method(self.median_method) is not true_median
+        # The x-split and the y-splits lie on the same root-to-leaf path, so the
+        # level's budget is halved between the two stages; the two y-medians act
+        # on disjoint halves and compose in parallel, so each gets the full half.
+        eps_stage = epsilon_median / 2.0 if method_is_private else 0.0
+
+        values_a = points[:, axis_a] if points.size else np.empty(0)
+        split_a = self._median(values_a, eps_stage, rect.lo[axis_a], rect.hi[axis_a], gen)
+        low_rect, high_rect = rect.split_at(axis_a, split_a)
+
+        halves = _partition([low_rect, high_rect], points, domain)
+        children: List[SplitResult] = []
+        for half_rect, half_points in halves:
+            values_b = half_points[:, axis_b] if half_points.size else np.empty(0)
+            split_b = self._median(values_b, eps_stage, half_rect.lo[axis_b], half_rect.hi[axis_b], gen)
+            lo_rect, hi_rect = half_rect.split_at(axis_b, split_b)
+            children.extend(_partition([lo_rect, hi_rect], half_points, domain))
+        return children
+
+
+@dataclass(frozen=True)
+class HybridSplit(SplitRule):
+    """Data-dependent (kd) splits for the top ``kd_levels`` levels, then quadtree.
+
+    ``kd_levels`` is the paper's switch level ``l``: nodes at levels
+    ``h, h-1, ..., h-l+1`` split via private medians, all deeper nodes split at
+    midpoints.  The paper finds ``l`` about half the height works best.
+    """
+
+    kd_levels: int = 4
+    median_method: "str | MedianMethod" = "em"
+    name: str = "hybrid"
+
+    def __post_init__(self) -> None:
+        if self.kd_levels < 0:
+            raise ValueError("kd_levels must be non-negative")
+
+    @property
+    def fanout(self) -> int:  # type: ignore[override]
+        return 4
+
+    def is_data_dependent(self, level: int, height: int) -> bool:
+        return level > height - self.kd_levels
+
+    def split(self, rect, points, level, height, domain, epsilon_median, rng=None):
+        if self.is_data_dependent(level, height):
+            return KDSplit(median_method=self.median_method).split(
+                rect, points, level, height, domain, epsilon_median, rng=rng
+            )
+        return QuadSplit().split(rect, points, level, height, domain, 0.0, rng=rng)
+
+
+def grid_median_along_axis(noisy: NoisyGrid, rect: Rect, axis: int) -> float:
+    """Approximate median coordinate along ``axis`` of the noisy grid mass in ``rect``.
+
+    Used by the cell-based kd-tree [26]: the per-cell noisy counts inside
+    ``rect`` are aggregated into a 1-D profile along ``axis`` (cells partially
+    covered contribute proportionally to their covered area), negative counts
+    are floored at zero, and the half-mass coordinate is interpolated.
+    """
+    grid = noisy.grid
+    if not 0 <= axis < grid.domain.dims:
+        raise ValueError("axis out of range")
+    overlap = grid.domain.rect.intersection(rect)
+    if overlap is None:
+        return rect.center[axis]
+
+    # Per-axis coverage fraction of every cell (same machinery as range_count).
+    fractions = []
+    for ax in range(grid.domain.dims):
+        edges = grid.edges(ax)
+        left = np.maximum(edges[:-1], overlap.lo[ax])
+        right = np.minimum(edges[1:], overlap.hi[ax])
+        width = edges[1:] - edges[:-1]
+        frac = np.clip(right - left, 0.0, None) / np.where(width > 0, width, 1.0)
+        fractions.append(frac)
+    weight = fractions[0]
+    for frac in fractions[1:]:
+        weight = np.multiply.outer(weight, frac)
+    weighted = np.clip(noisy.counts, 0.0, None) * weight
+
+    other_axes = tuple(ax for ax in range(grid.domain.dims) if ax != axis)
+    profile = weighted.sum(axis=other_axes) if other_axes else weighted
+    total = profile.sum()
+    edges = grid.edges(axis)
+    if total <= 0:
+        return rect.center[axis]
+    cum = np.cumsum(profile)
+    half = total / 2.0
+    idx = int(np.searchsorted(cum, half))
+    idx = min(idx, profile.size - 1)
+    prev = cum[idx - 1] if idx > 0 else 0.0
+    in_cell = profile[idx]
+    frac = 0.5 if in_cell <= 0 else (half - prev) / in_cell
+    frac = min(max(frac, 0.0), 1.0)
+    value = float(edges[idx] + frac * (edges[idx + 1] - edges[idx]))
+    return float(min(max(value, rect.lo[axis]), rect.hi[axis]))
+
+
+@dataclass(frozen=True)
+class CellKDSplit(SplitRule):
+    """Cell-based kd split [26]: medians read off a pre-paid noisy grid.
+
+    The grid is materialised once (its privacy cost is charged separately by
+    the builder), so the splits themselves consume no additional budget and
+    ``is_data_dependent`` returns ``False`` — the structure depends on the
+    data only through the already-released noisy grid.
+    """
+
+    noisy_grid: NoisyGrid = None  # type: ignore[assignment]
+    name: str = "kd-cell"
+
+    def __post_init__(self) -> None:
+        if self.noisy_grid is None:
+            raise ValueError("CellKDSplit requires a NoisyGrid")
+
+    @property
+    def fanout(self) -> int:  # type: ignore[override]
+        return 4
+
+    def is_data_dependent(self, level: int, height: int) -> bool:
+        return False
+
+    def split(self, rect, points, level, height, domain, epsilon_median, rng=None):
+        split_x = grid_median_along_axis(self.noisy_grid, rect, axis=0)
+        low_rect, high_rect = rect.split_at(0, split_x)
+        halves = _partition([low_rect, high_rect], points, domain)
+        children: List[SplitResult] = []
+        for half_rect, half_points in halves:
+            split_y = grid_median_along_axis(self.noisy_grid, half_rect, axis=1)
+            lo_rect, hi_rect = half_rect.split_at(1, split_y)
+            children.extend(_partition([lo_rect, hi_rect], half_points, domain))
+        return children

@@ -1,0 +1,230 @@
+"""The tree model shared by every private spatial decomposition.
+
+A PSD is a complete hierarchical decomposition of the data domain into nested
+rectangles, where every node carries a *noisy* count released via the Laplace
+mechanism.  :class:`PSDNode` is the node record and
+:class:`PrivateSpatialDecomposition` is the released object: it knows the
+per-level privacy parameters, answers range queries by the canonical
+decomposition of Section 4.1, and exposes the post-processing (Section 5) and
+pruning (Section 7) steps as methods that transform the released counts
+without touching the underlying data.
+
+The node also stores the *true* count in a private attribute (prefixed with an
+underscore); it exists so the test-suite and the non-private baselines
+(``kd-pure`` / ``kd-true``) can compute ground truth, and it is explicitly
+**not** part of the private release.  The helper
+:meth:`PrivateSpatialDecomposition.strip_private_fields` deletes these fields
+to model handing the structure to an untrusted party.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry.domain import Domain
+from ..geometry.rect import Rect
+from ..privacy.accountant import PrivacyAccountant
+
+__all__ = ["PSDNode", "PrivateSpatialDecomposition"]
+
+
+@dataclass
+class PSDNode:
+    """One node of a private spatial decomposition.
+
+    Attributes
+    ----------
+    rect:
+        The axis-aligned region the node is responsible for.
+    level:
+        Height of the node: leaves are level 0 and the root is level ``h``
+        (the paper's convention).
+    noisy_count:
+        The Laplace-noised count released for this node (``nan`` when the
+        level's count budget is zero and no count is released).
+    post_count:
+        The count after OLS post-processing, populated by
+        :func:`repro.core.postprocess.apply_ols`.  ``None`` until then.
+    split_axis, split_value:
+        For data-dependent nodes, the (privately chosen, hence releasable)
+        split that produced the children.
+    children:
+        Child nodes, empty for leaves.
+    """
+
+    rect: Rect
+    level: int
+    noisy_count: float = float("nan")
+    post_count: Optional[float] = None
+    split_axis: Optional[int] = None
+    split_value: Optional[float] = None
+    children: List["PSDNode"] = field(default_factory=list)
+    _true_count: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def released_count(self) -> float:
+        """The count a query should use: post-processed if available, else noisy."""
+        if self.post_count is not None:
+            return self.post_count
+        return self.noisy_count
+
+    def iter_subtree(self) -> Iterator["PSDNode"]:
+        """Pre-order traversal of the subtree rooted here."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def subtree_size(self) -> int:
+        return sum(1 for _ in self.iter_subtree())
+
+
+@dataclass
+class PrivateSpatialDecomposition:
+    """A released private spatial decomposition.
+
+    Attributes
+    ----------
+    root:
+        The root :class:`PSDNode` (covering the whole domain).
+    domain:
+        The public data domain.
+    height:
+        Tree height ``h``: root level ``h``, leaves level 0.
+    fanout:
+        Fanout of internal nodes (4 for quadtrees and flattened kd-trees,
+        2 for binary trees such as the Hilbert R-tree).
+    count_epsilons:
+        ``count_epsilons[i]`` is the Laplace parameter used for node counts at
+        level ``i`` (length ``height + 1``); zero means no count was released
+        at that level.
+    accountant:
+        The privacy accountant recording every charge made while building.
+    name:
+        Label used in experiment output (e.g. ``"quad-opt"``).
+    """
+
+    root: PSDNode
+    domain: Domain
+    height: int
+    fanout: int
+    count_epsilons: Sequence[float]
+    accountant: Optional[PrivacyAccountant] = None
+    name: str = "psd"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.count_epsilons = tuple(float(e) for e in self.count_epsilons)
+        if len(self.count_epsilons) != self.height + 1:
+            raise ValueError("count_epsilons must have exactly height + 1 entries (levels 0..h)")
+        if self.fanout < 2:
+            raise ValueError("fanout must be at least 2")
+
+    # ------------------------------------------------------------------
+    # Traversal helpers
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[PSDNode]:
+        """All nodes in pre-order."""
+        return self.root.iter_subtree()
+
+    def leaves(self) -> List[PSDNode]:
+        """All current leaves (after any pruning)."""
+        return [n for n in self.nodes() if n.is_leaf]
+
+    def node_count(self) -> int:
+        """Total number of nodes currently in the tree."""
+        return self.root.subtree_size()
+
+    def nodes_by_level(self) -> Dict[int, List[PSDNode]]:
+        """Nodes grouped by level."""
+        by_level: Dict[int, List[PSDNode]] = {}
+        for node in self.nodes():
+            by_level.setdefault(node.level, []).append(node)
+        return by_level
+
+    def is_complete(self) -> bool:
+        """True if every internal node has exactly ``fanout`` children and all
+        leaves sit at level 0 (required by the OLS post-processing)."""
+        for node in self.nodes():
+            if node.is_leaf:
+                if node.level != 0:
+                    return False
+            elif len(node.children) != self.fanout:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Query answering (delegates to repro.core.query)
+    # ------------------------------------------------------------------
+    def range_query(self, query: Rect, use_uniformity: bool = True) -> float:
+        """Estimated number of data points inside ``query`` (Section 4.1)."""
+        from .query import range_query as _range_query
+
+        return _range_query(self, query, use_uniformity=use_uniformity)
+
+    def nodes_touched(self, query: Rect) -> int:
+        """Number of node counts summed when answering ``query`` (``n(Q)``)."""
+        from .query import nodes_touched as _nodes_touched
+
+        return _nodes_touched(self, query)
+
+    def query_variance(self, query: Rect) -> float:
+        """The analytic error measure ``Err(Q)`` = sum of touched node variances."""
+        from .query import query_variance as _query_variance
+
+        return _query_variance(self, query)
+
+    # ------------------------------------------------------------------
+    # Post-processing and pruning (released-data transformations)
+    # ------------------------------------------------------------------
+    def postprocess(self) -> "PrivateSpatialDecomposition":
+        """Apply the OLS post-processing of Section 5 in place and return self."""
+        from .postprocess import apply_ols
+
+        apply_ols(self)
+        return self
+
+    def prune(self, threshold: float) -> "PrivateSpatialDecomposition":
+        """Remove descendants of nodes with released count below ``threshold``."""
+        from .pruning import prune_low_count_subtrees
+
+        prune_low_count_subtrees(self, threshold)
+        return self
+
+    # ------------------------------------------------------------------
+    def level_epsilon(self, level: int) -> float:
+        """The count Laplace parameter used at ``level``."""
+        if not 0 <= level <= self.height:
+            raise ValueError(f"level {level} out of range for height {self.height}")
+        return self.count_epsilons[level]
+
+    def total_count_epsilon(self) -> float:
+        """Total count budget along a root-to-leaf path."""
+        return float(sum(self.count_epsilons))
+
+    def strip_private_fields(self) -> "PrivateSpatialDecomposition":
+        """Zero out the true counts, modelling release to an untrusted party."""
+        for node in self.nodes():
+            node._true_count = 0
+        return self
+
+    def summary(self) -> Dict[str, object]:
+        """A compact description used by the experiment harness."""
+        return {
+            "name": self.name,
+            "height": self.height,
+            "fanout": self.fanout,
+            "nodes": self.node_count(),
+            "leaves": len(self.leaves()),
+            "count_epsilons": tuple(round(e, 6) for e in self.count_epsilons),
+            "path_epsilon": None if self.accountant is None else self.accountant.path_epsilon,
+        }

@@ -1,0 +1,25 @@
+"""Dataset generators: synthetic distributions and the TIGER-like stand-in."""
+
+from .synthetic import (
+    MEDIAN_STUDY_DOMAIN,
+    gaussian_cluster_points,
+    median_study_dataset,
+    mixture_1d,
+    skewed_points,
+    uniform_1d,
+    uniform_points,
+)
+from .tiger import TIGER_DOMAIN, RoadNetworkConfig, road_intersections
+
+__all__ = [
+    "uniform_points",
+    "gaussian_cluster_points",
+    "skewed_points",
+    "uniform_1d",
+    "mixture_1d",
+    "median_study_dataset",
+    "MEDIAN_STUDY_DOMAIN",
+    "road_intersections",
+    "RoadNetworkConfig",
+    "TIGER_DOMAIN",
+]

@@ -1,0 +1,131 @@
+"""Synthetic spatial datasets.
+
+The paper's experiments use real TIGER/Line road-intersection coordinates plus
+"synthetic 2D data with various distributions" (Section 8.1) and a synthetic
+one-dimensional uniform dataset for the private-median study (Section 8.2,
+Figure 4: 2^20 points uniform in [0, 2^26]).  This module provides those
+synthetic distributions; the TIGER-like stand-in lives in
+:mod:`repro.data.tiger`.
+
+Every generator takes a seedable ``rng`` and returns plain numpy arrays so the
+datasets slot directly into the PSD builders and workload generators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..geometry.domain import Domain
+from ..privacy.rng import RngLike, ensure_rng
+
+__all__ = [
+    "uniform_points",
+    "gaussian_cluster_points",
+    "skewed_points",
+    "uniform_1d",
+    "mixture_1d",
+    "MEDIAN_STUDY_DOMAIN",
+    "median_study_dataset",
+]
+
+#: Domain of the paper's one-dimensional median study: values in [0, 2^26].
+MEDIAN_STUDY_DOMAIN = (0.0, float(2**26))
+
+
+def uniform_points(n: int, domain: Domain, rng: RngLike = None) -> np.ndarray:
+    """``n`` points uniformly distributed over the domain."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    gen = ensure_rng(rng)
+    unit = gen.random((n, domain.dims))
+    return domain.denormalize(unit)
+
+
+def gaussian_cluster_points(
+    n: int,
+    domain: Domain,
+    n_clusters: int = 5,
+    spread: float = 0.05,
+    rng: RngLike = None,
+    weights: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """A mixture of Gaussian clusters clipped to the domain.
+
+    ``spread`` is the cluster standard deviation as a fraction of the domain
+    width.  ``weights`` optionally skews how many points each cluster gets.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if n_clusters < 1:
+        raise ValueError("n_clusters must be at least 1")
+    gen = ensure_rng(rng)
+    centers = gen.random((n_clusters, domain.dims))
+    if weights is None:
+        w = gen.random(n_clusters) + 0.2
+    else:
+        w = np.asarray(weights, dtype=float)
+        if w.shape[0] != n_clusters or np.any(w < 0):
+            raise ValueError("weights must be non-negative with one entry per cluster")
+    w = w / w.sum()
+    assignment = gen.choice(n_clusters, size=n, p=w)
+    unit = centers[assignment] + gen.normal(scale=spread, size=(n, domain.dims))
+    unit = np.clip(unit, 0.0, 1.0)
+    return domain.denormalize(unit)
+
+
+def skewed_points(
+    n: int,
+    domain: Domain,
+    exponent: float = 3.0,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Points concentrated towards one corner of the domain.
+
+    Each coordinate is drawn as ``u**exponent`` with ``u`` uniform, producing
+    the heavy corner-skew typical of population-like data.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    gen = ensure_rng(rng)
+    unit = gen.random((n, domain.dims)) ** exponent
+    return domain.denormalize(unit)
+
+
+def uniform_1d(n: int, lo: float = 0.0, hi: float = 1.0, rng: RngLike = None) -> np.ndarray:
+    """``n`` scalar values uniform in ``[lo, hi]`` (the Figure 4 distribution)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if hi < lo:
+        raise ValueError("hi must be at least lo")
+    gen = ensure_rng(rng)
+    return gen.uniform(lo, hi, size=n)
+
+
+def mixture_1d(
+    n: int,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    modes: int = 3,
+    spread: float = 0.03,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """A clustered 1-D distribution used to stress the private-median methods."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if modes < 1:
+        raise ValueError("modes must be at least 1")
+    gen = ensure_rng(rng)
+    centers = gen.uniform(lo, hi, size=modes)
+    assignment = gen.integers(0, modes, size=n)
+    values = centers[assignment] + gen.normal(scale=spread * (hi - lo), size=n)
+    return np.clip(values, lo, hi)
+
+
+def median_study_dataset(n: int = 2**20, rng: RngLike = None) -> np.ndarray:
+    """The exact setup of Figure 4: ``n`` points uniform in ``[0, 2^26]``."""
+    lo, hi = MEDIAN_STUDY_DOMAIN
+    return uniform_1d(n, lo=lo, hi=hi, rng=rng)

@@ -1,0 +1,32 @@
+"""Experiment runners reproducing every figure of the paper's evaluation (Section 8)."""
+
+from .ablations import (
+    run_budget_split_ablation,
+    run_geometric_ratio_ablation,
+    run_switch_level_ablation,
+)
+from .common import ExperimentScale, evaluate_tree, format_table, make_dataset, make_workloads
+from .fig2 import run_fig2
+from .fig3 import run_fig3
+from .fig4 import run_fig4
+from .fig5 import run_fig5
+from .fig6 import run_fig6
+from .fig7 import run_fig7a, run_fig7b
+
+__all__ = [
+    "ExperimentScale",
+    "make_dataset",
+    "make_workloads",
+    "evaluate_tree",
+    "format_table",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7a",
+    "run_fig7b",
+    "run_budget_split_ablation",
+    "run_switch_level_ablation",
+    "run_geometric_ratio_ablation",
+]

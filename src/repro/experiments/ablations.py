@@ -1,0 +1,115 @@
+"""Ablation experiments for the parameter settings reported in prose (Section 8.2).
+
+The paper summarises three parameter studies without dedicated figures:
+
+* **Median vs count budget** — "in most cases the best results were seen when
+  budget was biased towards the node counts, allocated roughly as
+  ``eps_count = 0.7 eps`` and ``eps_median = 0.3 eps``";
+* **Hybrid switch level** — "switching about half-way down the tree (height 3
+  or 4) gives the best result over this data set";
+* **Geometric ratio** — Lemma 3 proves ``2^{1/3}`` optimal under the
+  worst-case bound; the ablation confirms a grid search lands near it.
+
+Each runner sweeps the corresponding knob and returns rows suitable for the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.budget_analysis import best_geometric_ratio
+from ..core.kdtree import build_private_kdtree
+from ..geometry.domain import TIGER_DOMAIN, Domain
+from ..privacy.rng import RngLike, ensure_rng
+from ..queries.workload import KD_QUERY_SHAPES, QueryShape
+from .common import ExperimentScale, evaluate_tree, make_dataset, make_workloads
+from .fig5 import PAPER_PRUNE_THRESHOLD
+
+__all__ = ["run_budget_split_ablation", "run_switch_level_ablation", "run_geometric_ratio_ablation"]
+
+
+def run_budget_split_ablation(
+    scale: ExperimentScale = ExperimentScale(),
+    count_fractions: Sequence[float] = (0.3, 0.5, 0.7, 0.9),
+    epsilon: float = 0.5,
+    shapes: Sequence[QueryShape] = KD_QUERY_SHAPES,
+    domain: Domain = TIGER_DOMAIN,
+    points: Optional[np.ndarray] = None,
+    rng: RngLike = 0,
+) -> List[Dict[str, object]]:
+    """Sweep the count/median budget split of the standard kd-tree."""
+    gen = ensure_rng(rng)
+    pts = make_dataset(scale, rng=gen) if points is None else domain.validate_points(points)
+    workloads = make_workloads(pts, shapes, scale, domain=domain, rng=gen)
+
+    rows: List[Dict[str, object]] = []
+    for fraction in count_fractions:
+        psd = build_private_kdtree(
+            pts, domain, height=scale.kd_height, epsilon=epsilon, variant="kd-standard",
+            count_fraction=float(fraction), prune_threshold=PAPER_PRUNE_THRESHOLD, rng=gen,
+        )
+        errors = evaluate_tree(psd.range_query, workloads)
+        for label, err in errors.items():
+            rows.append(
+                {
+                    "count_fraction": float(fraction),
+                    "shape": label,
+                    "median_rel_error_pct": 100.0 * float(err),
+                }
+            )
+    return rows
+
+
+def run_switch_level_ablation(
+    scale: ExperimentScale = ExperimentScale(),
+    switch_levels: Optional[Sequence[int]] = None,
+    epsilon: float = 0.5,
+    shapes: Sequence[QueryShape] = KD_QUERY_SHAPES,
+    domain: Domain = TIGER_DOMAIN,
+    points: Optional[np.ndarray] = None,
+    rng: RngLike = 0,
+) -> List[Dict[str, object]]:
+    """Sweep the hybrid tree's switch level ``l`` from fully-quad to fully-kd."""
+    gen = ensure_rng(rng)
+    pts = make_dataset(scale, rng=gen) if points is None else domain.validate_points(points)
+    workloads = make_workloads(pts, shapes, scale, domain=domain, rng=gen)
+    levels = list(switch_levels) if switch_levels is not None else list(range(0, scale.kd_height + 1))
+
+    rows: List[Dict[str, object]] = []
+    for level in levels:
+        psd = build_private_kdtree(
+            pts, domain, height=scale.kd_height, epsilon=epsilon, variant="kd-hybrid",
+            switch_level=int(level), prune_threshold=PAPER_PRUNE_THRESHOLD, rng=gen,
+        )
+        errors = evaluate_tree(psd.range_query, workloads)
+        for label, err in errors.items():
+            rows.append(
+                {
+                    "switch_level": int(level),
+                    "shape": label,
+                    "median_rel_error_pct": 100.0 * float(err),
+                }
+            )
+    return rows
+
+
+def run_geometric_ratio_ablation(
+    heights: Sequence[int] = (6, 8, 10),
+    epsilon: float = 1.0,
+) -> List[Dict[str, object]]:
+    """Grid-search the geometric budget ratio and compare with Lemma 3's optimum."""
+    rows: List[Dict[str, object]] = []
+    for height in heights:
+        result = best_geometric_ratio(int(height), epsilon)
+        rows.append(
+            {
+                "height": int(height),
+                "best_ratio": result["ratio"],
+                "lemma3_ratio": result["lemma3_ratio"],
+                "worst_case_error": result["error"],
+            }
+        )
+    return rows

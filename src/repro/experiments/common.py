@@ -1,0 +1,123 @@
+"""Shared infrastructure for the figure-reproduction experiments.
+
+Every experiment runner in this package follows the same pattern: generate (or
+accept) a dataset, build one or more PSDs, evaluate them on fixed query
+workloads, and return plain-Python rows that the benchmark harness prints as
+the series behind the corresponding figure of the paper.
+
+:class:`ExperimentScale` centralises the knobs that trade fidelity for running
+time.  The defaults are deliberately smaller than the paper's setup (which
+uses 1.63 M points and 600 queries per shape) so the whole benchmark suite
+finishes in minutes; ``ExperimentScale.paper()`` restores the full-scale
+parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..data.tiger import road_intersections
+from ..geometry.domain import TIGER_DOMAIN, Domain
+from ..geometry.rect import Rect
+from ..privacy.rng import RngLike, ensure_rng
+from ..queries.metrics import median_relative_error
+from ..queries.workload import QueryShape, QueryWorkload, generate_workload
+
+__all__ = ["ExperimentScale", "make_dataset", "make_workloads", "evaluate_tree", "format_table"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size parameters shared by the experiment runners.
+
+    Attributes
+    ----------
+    n_points:
+        Number of synthetic road-intersection points.
+    n_queries:
+        Number of queries per shape in each workload.
+    repetitions:
+        Number of independent noisy releases averaged per configuration.
+    quad_height:
+        Height of the quadtree experiments (the paper uses 10).
+    kd_height:
+        Height of the kd-tree experiments (the paper uses 8).
+    """
+
+    n_points: int = 60_000
+    n_queries: int = 60
+    repetitions: int = 1
+    quad_height: int = 8
+    kd_height: int = 6
+
+    @staticmethod
+    def paper() -> "ExperimentScale":
+        """The paper's full-scale parameters (slow: minutes per figure)."""
+        return ExperimentScale(n_points=1_630_000, n_queries=600, repetitions=1, quad_height=10, kd_height=8)
+
+    @staticmethod
+    def smoke() -> "ExperimentScale":
+        """A tiny scale used by the integration tests."""
+        return ExperimentScale(n_points=5_000, n_queries=12, repetitions=1, quad_height=5, kd_height=4)
+
+
+def make_dataset(scale: ExperimentScale, rng: RngLike = 0) -> np.ndarray:
+    """The TIGER-like dataset used by Figures 3, 5, 6 and 7(a)."""
+    return road_intersections(n=scale.n_points, rng=ensure_rng(rng))
+
+
+def make_workloads(
+    points: np.ndarray,
+    shapes: Sequence[QueryShape],
+    scale: ExperimentScale,
+    domain: Domain = TIGER_DOMAIN,
+    rng: RngLike = 1,
+) -> Dict[str, QueryWorkload]:
+    """One workload per query shape, keyed by the shape label."""
+    gen = ensure_rng(rng)
+    return {
+        shape.label: generate_workload(points, domain, shape, n_queries=scale.n_queries, rng=gen)
+        for shape in shapes
+    }
+
+
+def evaluate_tree(
+    answer_fn: Callable[[Rect], float],
+    workloads: Dict[str, QueryWorkload],
+) -> Dict[str, float]:
+    """Median relative error of ``answer_fn`` on every workload, keyed by shape label."""
+    out: Dict[str, float] = {}
+    for label, workload in workloads.items():
+        estimates = workload.evaluate(answer_fn)
+        out[label] = median_relative_error(estimates, workload.true_answers)
+    return out
+
+
+def format_table(rows: Iterable[Dict[str, object]], columns: Sequence[str], title: str = "") -> str:
+    """Render result rows as a fixed-width text table (used by the benchmarks)."""
+    rows = list(rows)
+    widths = {c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) if rows else len(c) for c in columns}
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.001 and value != 0):
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,34 @@
+"""Figure 2: worst-case Err(Q) for uniform vs geometric budgets.
+
+The figure plots the two analytic worst-case bounds of Section 4.2 against the
+tree height ``h = 5..10`` (in units of ``16 / eps^2``): the uniform-budget
+error grows like ``(h+1)^2 2^{h+1}`` while the geometric-budget error grows
+like ``2^{h+1}``, an asymptotic gap of ``(h+1)^2``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..analysis.variance import worst_case_error_curves
+
+__all__ = ["run_fig2", "PAPER_HEIGHTS"]
+
+#: The heights plotted in Figure 2.
+PAPER_HEIGHTS = tuple(range(5, 11))
+
+
+def run_fig2(heights: Sequence[int] = PAPER_HEIGHTS) -> List[Dict[str, float]]:
+    """Return one row per height with both worst-case bounds (units of 16/eps^2)."""
+    curves = worst_case_error_curves(heights)
+    rows: List[Dict[str, float]] = []
+    for h, unif, geom in zip(curves["height"], curves["uniform"], curves["geometric"]):
+        rows.append(
+            {
+                "height": int(h),
+                "err_uniform": float(unif),
+                "err_geometric": float(geom),
+                "ratio": float(unif / geom) if geom > 0 else float("inf"),
+            }
+        )
+    return rows

@@ -1,0 +1,71 @@
+"""Figure 3: query accuracy of the quadtree optimisations.
+
+For every privacy budget ``eps in {0.1, 0.5, 1.0}`` and every query shape
+``(1,1), (5,5), (10,10), (15,0.2)``, the figure reports the median relative
+error of four quadtree configurations grown to the same height:
+
+* ``quad-baseline`` — uniform budget, no post-processing;
+* ``quad-geo``      — geometric budget only;
+* ``quad-post``     — OLS post-processing only;
+* ``quad-opt``      — both optimisations combined.
+
+The paper's headline observation is that each optimisation helps individually
+and together they cut the error by up to an order of magnitude, especially at
+small budgets.  The runner rebuilds the *structure* once (it is data
+independent) and redraws the noise for every variant, matching the paper's
+methodology of comparing variants on identical data and workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.quadtree import QUADTREE_VARIANTS, build_private_quadtree
+from ..geometry.domain import TIGER_DOMAIN, Domain
+from ..privacy.rng import RngLike, ensure_rng
+from ..queries.workload import PAPER_QUERY_SHAPES, QueryShape
+from .common import ExperimentScale, evaluate_tree, make_dataset, make_workloads
+
+__all__ = ["run_fig3", "PAPER_EPSILONS"]
+
+#: The privacy budgets of Figure 3(a)-(c).
+PAPER_EPSILONS = (0.1, 0.5, 1.0)
+
+
+def run_fig3(
+    scale: ExperimentScale = ExperimentScale(),
+    epsilons: Sequence[float] = PAPER_EPSILONS,
+    shapes: Sequence[QueryShape] = PAPER_QUERY_SHAPES,
+    variants: Sequence[str] = tuple(QUADTREE_VARIANTS),
+    domain: Domain = TIGER_DOMAIN,
+    points: Optional[np.ndarray] = None,
+    rng: RngLike = 0,
+) -> List[Dict[str, object]]:
+    """Run the Figure 3 experiment and return one row per (epsilon, variant, shape)."""
+    gen = ensure_rng(rng)
+    pts = make_dataset(scale, rng=gen) if points is None else domain.validate_points(points)
+    workloads = make_workloads(pts, shapes, scale, domain=domain, rng=gen)
+
+    rows: List[Dict[str, object]] = []
+    for epsilon in epsilons:
+        for variant in variants:
+            errors_accum: Dict[str, List[float]] = {label: [] for label in workloads}
+            for _ in range(scale.repetitions):
+                psd = build_private_quadtree(
+                    pts, domain, height=scale.quad_height, epsilon=epsilon, variant=variant, rng=gen
+                )
+                errors = evaluate_tree(psd.range_query, workloads)
+                for label, err in errors.items():
+                    errors_accum[label].append(err)
+            for label, errs in errors_accum.items():
+                rows.append(
+                    {
+                        "epsilon": float(epsilon),
+                        "variant": variant,
+                        "shape": label,
+                        "median_rel_error_pct": 100.0 * float(np.mean(errs)),
+                    }
+                )
+    return rows

@@ -1,0 +1,105 @@
+"""Figure 6: comparison of the best PSD of each family across tree heights.
+
+At a fixed privacy budget ``eps = 0.5`` and for query shapes ``(1,1)``,
+``(10,10)`` and ``(15,0.2)``, the figure sweeps the maximum tree height
+``h = 6..11`` and plots the median relative error of:
+
+* ``quad-opt``   — the optimised private quadtree;
+* ``kd-hybrid``  — the hybrid kd-tree;
+* ``kd-cell``    — the cell-based kd-tree of [26];
+* ``hilbert-r``  — the private Hilbert R-tree (a binary tree over Hilbert
+  values; built with ``2h`` binary levels so it has the same number of leaves
+  as a fanout-4 tree of height ``h``).
+
+The shape to reproduce: the optimised quadtree keeps improving with height and
+is best at the largest heights; kd-hybrid reaches comparable accuracy at a
+smaller height on large queries; kd-cell shines only on small square queries;
+Hilbert-R is competitive on some shapes and much worse on others.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.hilbert_rtree import build_private_hilbert_rtree
+from ..core.kdtree import build_private_kdtree
+from ..core.quadtree import build_private_quadtree
+from ..geometry.domain import TIGER_DOMAIN, Domain
+from ..privacy.rng import RngLike, ensure_rng
+from ..queries.workload import KD_QUERY_SHAPES, QueryShape
+from .common import ExperimentScale, evaluate_tree, make_dataset, make_workloads
+from .fig5 import PAPER_PRUNE_THRESHOLD
+
+__all__ = ["run_fig6", "PAPER_HEIGHTS", "FIG6_METHODS"]
+
+#: Tree heights swept in Figure 6 (reduced by default; pass the paper range to match).
+PAPER_HEIGHTS = (6, 7, 8, 9, 10, 11)
+
+#: The four methods compared in Figure 6.
+FIG6_METHODS = ("quad-opt", "kd-hybrid", "kd-cell", "hilbert-r")
+
+
+def run_fig6(
+    scale: ExperimentScale = ExperimentScale(),
+    heights: Sequence[int] = (5, 6, 7, 8),
+    epsilon: float = 0.5,
+    shapes: Sequence[QueryShape] = KD_QUERY_SHAPES,
+    methods: Sequence[str] = FIG6_METHODS,
+    domain: Domain = TIGER_DOMAIN,
+    points: Optional[np.ndarray] = None,
+    hilbert_order: int = 16,
+    rng: RngLike = 0,
+) -> List[Dict[str, object]]:
+    """Run the Figure 6 sweep; one row per (method, height, shape).
+
+    The default ``heights`` stop at 8 to keep pure-Python tree sizes modest;
+    pass ``heights=PAPER_HEIGHTS`` for the full sweep of the paper.
+    """
+    gen = ensure_rng(rng)
+    pts = make_dataset(scale, rng=gen) if points is None else domain.validate_points(points)
+    workloads = make_workloads(pts, shapes, scale, domain=domain, rng=gen)
+
+    rows: List[Dict[str, object]] = []
+    for height in heights:
+        for method in methods:
+            answer_fn = _build_method(method, pts, domain, int(height), epsilon, hilbert_order, gen)
+            errors = evaluate_tree(answer_fn, workloads)
+            for label, err in errors.items():
+                rows.append(
+                    {
+                        "method": method,
+                        "height": int(height),
+                        "shape": label,
+                        "median_rel_error_pct": 100.0 * float(err),
+                    }
+                )
+    return rows
+
+
+def _build_method(method, pts, domain, height, epsilon, hilbert_order, rng):
+    """Build one of the Figure 6 structures and return its query-answering callable."""
+    key = method.lower()
+    if key == "quad-opt":
+        psd = build_private_quadtree(pts, domain, height=height, epsilon=epsilon, variant="quad-opt", rng=rng)
+        return psd.range_query
+    if key == "kd-hybrid":
+        psd = build_private_kdtree(
+            pts, domain, height=height, epsilon=epsilon, variant="kd-hybrid",
+            prune_threshold=PAPER_PRUNE_THRESHOLD, rng=rng,
+        )
+        return psd.range_query
+    if key == "kd-cell":
+        psd = build_private_kdtree(
+            pts, domain, height=height, epsilon=epsilon, variant="kd-cell",
+            prune_threshold=PAPER_PRUNE_THRESHOLD, rng=rng,
+        )
+        return psd.range_query
+    if key in ("hilbert-r", "hilbert"):
+        tree = build_private_hilbert_rtree(
+            pts, domain, height=2 * height, epsilon=epsilon, order=hilbert_order,
+            prune_threshold=PAPER_PRUNE_THRESHOLD, rng=rng,
+        )
+        return tree.range_query
+    raise KeyError(f"unknown Figure 6 method {method!r}")

@@ -1,0 +1,15 @@
+"""Geometric substrate: rectangles, domains and the Hilbert curve."""
+
+from .domain import TIGER_DOMAIN, UNIT_DOMAIN_2D, Domain
+from .hilbert import HilbertCurve
+from .rect import Rect, bounding_rect, domain_aware_mask
+
+__all__ = [
+    "Rect",
+    "bounding_rect",
+    "domain_aware_mask",
+    "Domain",
+    "TIGER_DOMAIN",
+    "UNIT_DOMAIN_2D",
+    "HilbertCurve",
+]

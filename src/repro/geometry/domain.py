@@ -1,0 +1,139 @@
+"""Data domains: the publicly-known bounding region of a spatial dataset.
+
+Differential privacy requires that everything the algorithm conditions on —
+other than the noisy quantities themselves — be data independent.  The PSD
+framework therefore assumes a *public* data domain (e.g. "GPS coordinates in
+the continental USA", or "salaries in [0, 10^7]") which bounds the data but
+does not depend on which individuals are present.  ``Domain`` wraps a
+:class:`~repro.geometry.rect.Rect` with convenience methods for normalising
+points and expressing query sizes in domain units, matching the paper's
+convention of expressing query shapes in degrees of longitude/latitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .rect import Rect
+
+__all__ = ["Domain", "TIGER_DOMAIN", "UNIT_DOMAIN_2D"]
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A public, data-independent bounding region for a dataset.
+
+    Parameters
+    ----------
+    rect:
+        The bounding rectangle.  Points on the upper faces are considered
+        inside the domain (the domain is closed), unlike interior tree-node
+        rectangles which are half-open.
+    name:
+        Optional human-readable label used in experiment output.
+    """
+
+    rect: Rect
+    name: str = "domain"
+
+    # ------------------------------------------------------------------
+    @property
+    def dims(self) -> int:
+        return self.rect.dims
+
+    @property
+    def widths(self) -> np.ndarray:
+        return self.rect.widths
+
+    @property
+    def area(self) -> float:
+        return self.rect.area
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_bounds(lo: Sequence[float], hi: Sequence[float], name: str = "domain") -> "Domain":
+        """Build a domain from raw bounds."""
+        return Domain(Rect.from_arrays(lo, hi), name=name)
+
+    @staticmethod
+    def unit(dims: int = 2, name: str = "unit") -> "Domain":
+        """The unit cube ``[0, 1]^dims``."""
+        return Domain(Rect.unit(dims), name=name)
+
+    # ------------------------------------------------------------------
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask of points lying inside the (closed) domain."""
+        return self.rect.contains_points(points, closed_hi=True)
+
+    def validate_points(self, points: np.ndarray) -> np.ndarray:
+        """Return ``points`` as a float array, raising if any lie outside the domain.
+
+        The check protects against accidentally building a PSD whose root does
+        not cover the data, which would silently drop points.
+        """
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim == 1:
+            pts = pts.reshape(-1, 1)
+        if pts.shape[1] != self.dims:
+            raise ValueError(f"points have {pts.shape[1]} dims, domain has {self.dims}")
+        if pts.size and not bool(np.all(self.contains(pts))):
+            outside = int(np.count_nonzero(~self.contains(pts)))
+            raise ValueError(f"{outside} point(s) fall outside the declared domain {self.name!r}")
+        return pts
+
+    def clip_points(self, points: np.ndarray) -> np.ndarray:
+        """Clamp points onto the domain instead of rejecting them."""
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim == 1:
+            pts = pts.reshape(-1, 1)
+        lo = np.asarray(self.rect.lo)
+        hi = np.asarray(self.rect.hi)
+        return np.clip(pts, lo, hi)
+
+    def normalize(self, points: np.ndarray) -> np.ndarray:
+        """Map points affinely into the unit cube ``[0, 1]^d``."""
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim == 1:
+            pts = pts.reshape(-1, 1)
+        lo = np.asarray(self.rect.lo)
+        widths = self.widths
+        widths = np.where(widths > 0, widths, 1.0)
+        return (pts - lo) / widths
+
+    def denormalize(self, unit_points: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`normalize`."""
+        pts = np.asarray(unit_points, dtype=float)
+        if pts.ndim == 1:
+            pts = pts.reshape(-1, 1)
+        lo = np.asarray(self.rect.lo)
+        return lo + pts * self.widths
+
+    # ------------------------------------------------------------------
+    def query_rect(self, center: Sequence[float], extents: Sequence[float]) -> Rect:
+        """A query rectangle of the given per-axis ``extents`` centred at ``center``.
+
+        The rectangle is clipped to the domain, matching how the paper's query
+        generator only produces queries inside the data range.
+        """
+        center = np.asarray(center, dtype=float)
+        half = np.asarray(extents, dtype=float) / 2.0
+        lo = np.maximum(center - half, np.asarray(self.rect.lo))
+        hi = np.minimum(center + half, np.asarray(self.rect.hi))
+        hi = np.maximum(hi, lo)
+        return Rect.from_arrays(lo, hi)
+
+    def fraction_extents(self, fractions: Sequence[float]) -> Tuple[float, ...]:
+        """Convert per-axis fractions of the domain width into absolute extents."""
+        widths = self.widths
+        return tuple(float(f) * float(w) for f, w in zip(fractions, widths))
+
+
+#: The coordinate range of the paper's TIGER/Line dataset (WA + NM road
+#: intersections): longitude in [-124.82, -103.00], latitude in [31.33, 49.00].
+TIGER_DOMAIN = Domain.from_bounds((-124.82, 31.33), (-103.00, 49.00), name="tiger-wa-nm")
+
+#: Convenience 2-D unit domain used throughout the tests.
+UNIT_DOMAIN_2D = Domain.unit(2)

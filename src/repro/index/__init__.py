@@ -1,0 +1,17 @@
+"""Non-private spatial index substrate: exact quadtree, kd-tree, grid, Hilbert R-tree."""
+
+from .grid import NoisyGrid, UniformGrid
+from .kdtree import ExactKDNode, ExactKDTree
+from .quadtree import ExactQuadtree, ExactQuadtreeNode
+from .rtree import ExactHilbertNode, ExactHilbertRTree
+
+__all__ = [
+    "UniformGrid",
+    "NoisyGrid",
+    "ExactQuadtree",
+    "ExactQuadtreeNode",
+    "ExactKDTree",
+    "ExactKDNode",
+    "ExactHilbertRTree",
+    "ExactHilbertNode",
+]

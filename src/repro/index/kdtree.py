@@ -1,0 +1,145 @@
+"""Exact (non-private) kd-tree with median splits.
+
+Nodes are recursively split by a line through the median data value along one
+coordinate axis, cycling through the axes level by level — the classical
+data-dependent decomposition of Section 3.2.  The exact tree is the paper's
+``kd-pure`` baseline (no noise anywhere), provides ground truth for tests, and
+is reused by the private builders, which differ only in how split positions
+and counts are released.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..geometry.domain import Domain
+from ..geometry.rect import Rect, domain_aware_mask
+
+__all__ = ["ExactKDNode", "ExactKDTree"]
+
+
+@dataclass
+class ExactKDNode:
+    """One node of the exact kd-tree."""
+
+    rect: Rect
+    level: int
+    count: int = 0
+    split_axis: Optional[int] = None
+    split_value: Optional[float] = None
+    children: List["ExactKDNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def iter_subtree(self) -> Iterator["ExactKDNode"]:
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+
+@dataclass
+class ExactKDTree:
+    """A complete binary kd-tree of a given height over a domain.
+
+    Parameters
+    ----------
+    domain:
+        Public data domain (root rectangle).
+    height:
+        Number of binary split levels; leaves are at level 0.
+    first_axis:
+        Axis used at the root; the splitting axis cycles from there.
+    """
+
+    domain: Domain
+    height: int
+    first_axis: int = 0
+    root: Optional[ExactKDNode] = None
+
+    def __post_init__(self) -> None:
+        if self.height < 0:
+            raise ValueError("height must be non-negative")
+        if not 0 <= self.first_axis < self.domain.dims:
+            raise ValueError("first_axis out of range for the domain")
+
+    # ------------------------------------------------------------------
+    def fit(self, points: np.ndarray) -> "ExactKDTree":
+        """Build the complete tree using exact medians and exact counts."""
+        pts = self.domain.validate_points(points)
+        self.root = ExactKDNode(rect=self.domain.rect, level=self.height, count=pts.shape[0])
+        self._build(self.root, pts, axis=self.first_axis)
+        return self
+
+    def _build(self, node: ExactKDNode, pts: np.ndarray, axis: int) -> None:
+        if node.level == 0:
+            return
+        if pts.shape[0] > 0:
+            split = float(np.median(pts[:, axis]))
+        else:
+            split = node.rect.center[axis]
+        node.split_axis = axis
+        node.split_value = split
+        left_rect, right_rect = node.rect.split_at(axis, split)
+        next_axis = (axis + 1) % self.domain.dims
+        for child_rect in (left_rect, right_rect):
+            mask = domain_aware_mask(child_rect, pts, self.domain.rect) if pts.size else np.zeros(0, dtype=bool)
+            child_pts = pts[mask]
+            child = ExactKDNode(rect=child_rect, level=node.level - 1, count=child_pts.shape[0])
+            node.children.append(child)
+            self._build(child, child_pts, axis=next_axis)
+
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[ExactKDNode]:
+        if self.root is None:
+            return iter(())
+        return self.root.iter_subtree()
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.nodes())
+
+    def leaves(self) -> List[ExactKDNode]:
+        return [n for n in self.nodes() if n.is_leaf]
+
+    # ------------------------------------------------------------------
+    def range_count(self, query: Rect, use_uniformity: bool = True) -> float:
+        """Answer a range query via the canonical decomposition (Section 4.1)."""
+        if self.root is None:
+            raise RuntimeError("call fit() before querying")
+        total = 0.0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.rect.intersects(query):
+                continue
+            if query.contains_rect(node.rect):
+                total += node.count
+                continue
+            if node.is_leaf:
+                if use_uniformity and node.rect.area > 0:
+                    total += node.count * node.rect.intersection_area(query) / node.rect.area
+                continue
+            stack.extend(node.children)
+        return total
+
+    def nodes_touched(self, query: Rect) -> int:
+        """The number of node counts the canonical decomposition sums (``n(Q)``)."""
+        if self.root is None:
+            raise RuntimeError("call fit() before querying")
+        touched = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.rect.intersects(query):
+                continue
+            if query.contains_rect(node.rect) or node.is_leaf:
+                touched += 1
+                continue
+            stack.extend(node.children)
+        return touched

@@ -1,0 +1,150 @@
+"""Exact (non-private) quadtree.
+
+The classical data-independent spatial decomposition the paper starts from:
+nodes are recursively divided into ``2^d`` equal orthants through the midpoint
+of each axis.  The exact tree serves three purposes in the reproduction:
+
+* ground truth for range counts in tests (cross-checked against brute force);
+* the structural skeleton the *private* quadtree shares (the private variant
+  only changes how node counts are released);
+* a reference implementation of the canonical range-query decomposition of
+  Section 4.1, whose node-visit counts are validated against Lemma 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..geometry.domain import Domain
+from ..geometry.rect import Rect, domain_aware_mask
+
+__all__ = ["ExactQuadtreeNode", "ExactQuadtree"]
+
+
+@dataclass
+class ExactQuadtreeNode:
+    """One node of the exact quadtree."""
+
+    rect: Rect
+    level: int
+    count: int = 0
+    children: List["ExactQuadtreeNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def iter_subtree(self) -> Iterator["ExactQuadtreeNode"]:
+        """Pre-order traversal of the subtree rooted at this node."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+
+@dataclass
+class ExactQuadtree:
+    """A complete quadtree of a given height over a domain.
+
+    Parameters
+    ----------
+    domain:
+        Public data domain (the root rectangle).
+    height:
+        Number of split levels; the root is at level ``height`` and leaves at
+        level 0, matching the paper's convention.
+    """
+
+    domain: Domain
+    height: int
+    root: Optional[ExactQuadtreeNode] = None
+
+    def __post_init__(self) -> None:
+        if self.height < 0:
+            raise ValueError("height must be non-negative")
+
+    # ------------------------------------------------------------------
+    def fit(self, points: np.ndarray) -> "ExactQuadtree":
+        """Build the complete tree and populate exact counts."""
+        pts = self.domain.validate_points(points)
+        self.root = ExactQuadtreeNode(rect=self.domain.rect, level=self.height, count=pts.shape[0])
+        self._build(self.root, pts)
+        return self
+
+    def _build(self, node: ExactQuadtreeNode, pts: np.ndarray) -> None:
+        if node.level == 0:
+            return
+        for child_rect in node.rect.quad_children():
+            mask = domain_aware_mask(child_rect, pts, self.domain.rect) if pts.size else np.zeros(0, dtype=bool)
+            child_pts = pts[mask]
+            child = ExactQuadtreeNode(rect=child_rect, level=node.level - 1, count=child_pts.shape[0])
+            node.children.append(child)
+            self._build(child, child_pts)
+
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[ExactQuadtreeNode]:
+        """Iterate over all nodes (pre-order)."""
+        if self.root is None:
+            return iter(())
+        return self.root.iter_subtree()
+
+    def node_count(self) -> int:
+        """Total number of nodes in the complete tree."""
+        return sum(1 for _ in self.nodes())
+
+    def leaves(self) -> List[ExactQuadtreeNode]:
+        """All leaf nodes."""
+        return [n for n in self.nodes() if n.is_leaf]
+
+    # ------------------------------------------------------------------
+    def range_count(self, query: Rect, use_uniformity: bool = True) -> float:
+        """Exact-count answer to a range query via canonical decomposition.
+
+        Nodes fully contained in the query contribute their exact count;
+        partially intersected leaves contribute proportionally to overlap area
+        when ``use_uniformity`` is set (the same estimator the private trees
+        use), or are descended-into-and-ignored otherwise.
+        """
+        if self.root is None:
+            raise RuntimeError("call fit() before querying")
+        total = 0.0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.rect.intersects(query):
+                continue
+            if query.contains_rect(node.rect):
+                total += node.count
+                continue
+            if node.is_leaf:
+                if use_uniformity and node.rect.area > 0:
+                    total += node.count * node.rect.intersection_area(query) / node.rect.area
+                continue
+            stack.extend(node.children)
+        return total
+
+    def nodes_touched(self, query: Rect) -> int:
+        """Number of nodes whose counts the canonical decomposition adds up.
+
+        This is the quantity ``n(Q)`` bounded by Lemma 2.
+        """
+        if self.root is None:
+            raise RuntimeError("call fit() before querying")
+        touched = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.rect.intersects(query):
+                continue
+            if query.contains_rect(node.rect):
+                touched += 1
+                continue
+            if node.is_leaf:
+                touched += 1
+                continue
+            stack.extend(node.children)
+        return touched

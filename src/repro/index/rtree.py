@@ -1,0 +1,140 @@
+"""Exact (non-private) Hilbert R-tree.
+
+The Hilbert R-tree of Kamel & Faloutsos (used as a baseline in Section 3.2):
+data points are mapped to a Hilbert space-filling curve, a balanced binary
+tree is built over the sorted Hilbert values, and each node's planar region is
+the bounding box of the curve cells its value range spans.  The private
+version in :mod:`repro.core.hilbert_rtree` shares this skeleton but chooses
+split values privately and releases noisy counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..geometry.domain import Domain
+from ..geometry.hilbert import HilbertCurve
+from ..geometry.rect import Rect
+
+__all__ = ["ExactHilbertNode", "ExactHilbertRTree"]
+
+
+@dataclass
+class ExactHilbertNode:
+    """A node spanning an inclusive interval of Hilbert indices."""
+
+    lo_index: int
+    hi_index: int
+    level: int
+    count: int = 0
+    bbox: Optional[Rect] = None
+    children: List["ExactHilbertNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def iter_subtree(self) -> Iterator["ExactHilbertNode"]:
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+
+@dataclass
+class ExactHilbertRTree:
+    """A complete binary tree over Hilbert values of the data points.
+
+    Parameters
+    ----------
+    domain:
+        Public 2-D data domain.
+    height:
+        Number of binary split levels; leaves at level 0.
+    order:
+        Hilbert curve order (the paper uses 18 by default).
+    """
+
+    domain: Domain
+    height: int
+    order: int = 18
+    curve: HilbertCurve = field(init=False)
+    root: Optional[ExactHilbertNode] = None
+
+    def __post_init__(self) -> None:
+        if self.height < 0:
+            raise ValueError("height must be non-negative")
+        self.curve = HilbertCurve(order=self.order, domain=self.domain.rect)
+
+    # ------------------------------------------------------------------
+    def fit(self, points: np.ndarray) -> "ExactHilbertRTree":
+        """Map points to Hilbert values, build the tree with exact median splits."""
+        pts = self.domain.validate_points(points)
+        values = np.sort(self.curve.encode(pts)) if pts.size else np.array([], dtype=np.int64)
+        self.root = ExactHilbertNode(
+            lo_index=0, hi_index=self.curve.max_index, level=self.height, count=int(values.size)
+        )
+        self._build(self.root, values)
+        self._assign_bboxes()
+        return self
+
+    def _build(self, node: ExactHilbertNode, values: np.ndarray) -> None:
+        if node.level == 0:
+            return
+        if values.size > 0:
+            split = int(np.median(values))
+        else:
+            split = (node.lo_index + node.hi_index) // 2
+        split = int(min(max(split, node.lo_index), node.hi_index - 1)) if node.hi_index > node.lo_index else node.lo_index
+        left_values = values[values <= split]
+        right_values = values[values > split]
+        left = ExactHilbertNode(node.lo_index, split, node.level - 1, count=int(left_values.size))
+        right = ExactHilbertNode(split + 1, node.hi_index, node.level - 1, count=int(right_values.size))
+        node.children = [left, right]
+        self._build(left, left_values)
+        self._build(right, right_values)
+
+    def _assign_bboxes(self) -> None:
+        for node in self.nodes():
+            node.bbox = self.curve.range_bbox(node.lo_index, node.hi_index)
+
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[ExactHilbertNode]:
+        if self.root is None:
+            return iter(())
+        return self.root.iter_subtree()
+
+    def leaves(self) -> List[ExactHilbertNode]:
+        return [n for n in self.nodes() if n.is_leaf]
+
+    # ------------------------------------------------------------------
+    def range_count(self, query: Rect) -> float:
+        """Answer a planar range query via R-tree style traversal of node boxes.
+
+        A node whose bounding box lies inside the query contributes its whole
+        count; boxes that merely intersect are descended into; partially
+        covered leaves contribute proportionally to the overlapped fraction of
+        their box (uniformity assumption).
+        """
+        if self.root is None:
+            raise RuntimeError("call fit() before querying")
+        total = 0.0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            bbox = node.bbox
+            if bbox is None or not bbox.intersects(query):
+                continue
+            if query.contains_rect(bbox):
+                total += node.count
+                continue
+            if node.is_leaf:
+                if bbox.area > 0:
+                    total += node.count * bbox.intersection_area(query) / bbox.area
+                continue
+            stack.extend(node.children)
+        return total

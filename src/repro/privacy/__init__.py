@@ -1,0 +1,69 @@
+"""Differential-privacy substrate: mechanisms, accounting, medians, sampling."""
+
+from .accountant import PrivacyAccountant, PrivacyCharge
+from .mechanisms import (
+    LaplaceCountMechanism,
+    exponential_mechanism,
+    geometric_mechanism,
+    laplace_mechanism,
+    laplace_noise,
+    laplace_variance,
+)
+from .median import (
+    MEDIAN_METHODS,
+    cell_median,
+    exponential_mechanism_median,
+    make_sampled_median,
+    median_from_noisy_cells,
+    noisy_mean_median,
+    resolve_median_method,
+    smooth_sensitivity_median,
+    smooth_sensitivity_of_median,
+    true_median,
+)
+from .rng import ensure_rng, spawn_rngs
+from .sampling import (
+    amplified_epsilon,
+    bernoulli_sample,
+    required_base_epsilon,
+    sampled_mechanism,
+    tight_base_epsilon,
+)
+from .sensitivity import (
+    COUNT_SENSITIVITY,
+    mean_numerator_sensitivity,
+    median_global_sensitivity,
+    sum_sensitivity,
+)
+
+__all__ = [
+    "PrivacyAccountant",
+    "PrivacyCharge",
+    "LaplaceCountMechanism",
+    "laplace_mechanism",
+    "laplace_noise",
+    "laplace_variance",
+    "geometric_mechanism",
+    "exponential_mechanism",
+    "MEDIAN_METHODS",
+    "true_median",
+    "exponential_mechanism_median",
+    "smooth_sensitivity_median",
+    "smooth_sensitivity_of_median",
+    "cell_median",
+    "median_from_noisy_cells",
+    "noisy_mean_median",
+    "make_sampled_median",
+    "resolve_median_method",
+    "ensure_rng",
+    "spawn_rngs",
+    "bernoulli_sample",
+    "amplified_epsilon",
+    "required_base_epsilon",
+    "tight_base_epsilon",
+    "sampled_mechanism",
+    "COUNT_SENSITIVITY",
+    "sum_sensitivity",
+    "mean_numerator_sensitivity",
+    "median_global_sensitivity",
+]

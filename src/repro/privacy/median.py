@@ -1,0 +1,370 @@
+"""Private median selection (Section 6.1 of the paper).
+
+A data-dependent PSD (kd-tree, Hilbert R-tree) splits every internal node at
+the median of the points it contains along some axis.  Releasing that median
+exactly would leak information, and the global sensitivity of the median is of
+the order of the whole domain, so plain Laplace noise is useless.  The paper
+surveys four practical alternatives, all implemented here with a common
+signature ``method(values, epsilon, lo, hi, rng) -> float``:
+
+* :func:`exponential_mechanism_median` (**EM**) — samples an output with
+  probability proportional to ``exp(-eps/2 * |rank(x) - rank(median)|)``
+  (Definition 5), implemented exactly with the interval decomposition the
+  paper describes;
+* :func:`smooth_sensitivity_median` (**SS**) — Laplace noise calibrated to the
+  smooth sensitivity of the median (Definition 4); only (ε, δ)-DP;
+* :func:`cell_median` (**cell**) — the heuristic of [26]: noisy counts on a
+  fixed grid, median read off the noisy cumulative distribution;
+* :func:`noisy_mean_median` (**NM**) — the heuristic of [12]: a noisy mean
+  (noisy sum / noisy count) used as a surrogate for the median.
+
+plus the non-private :func:`true_median` baseline ("kd-true" in Section 8.2)
+and sampled variants **EMs** / **SSs** built by combining any method with
+Bernoulli sampling (Theorem 7, :mod:`repro.privacy.sampling`).
+
+All methods clamp their output to the public domain ``[lo, hi]`` — a value
+outside the domain could never be a useful split and the clamp is a
+post-processing step, so it costs nothing in privacy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .mechanisms import laplace_noise
+from .rng import RngLike, ensure_rng
+from .sensitivity import sum_sensitivity
+
+__all__ = [
+    "MedianMethod",
+    "true_median",
+    "exponential_mechanism_median",
+    "smooth_sensitivity_median",
+    "smooth_sensitivity_of_median",
+    "cell_median",
+    "median_from_noisy_cells",
+    "noisy_mean_median",
+    "make_sampled_median",
+    "MEDIAN_METHODS",
+    "resolve_median_method",
+]
+
+#: Signature shared by every private-median method.
+MedianMethod = Callable[..., float]
+
+
+def _prepare(values: np.ndarray, lo: float, hi: float) -> np.ndarray:
+    """Validate the inputs common to all methods and return sorted values."""
+    lo, hi = float(lo), float(hi)
+    if hi < lo:
+        raise ValueError(f"invalid domain [{lo}, {hi}]")
+    vals = np.asarray(values, dtype=float).ravel()
+    if vals.size and (vals.min() < lo - 1e-9 or vals.max() > hi + 1e-9):
+        raise ValueError("values fall outside the declared domain [lo, hi]")
+    return np.sort(np.clip(vals, lo, hi))
+
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return float(min(max(value, lo), hi))
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+def true_median(values: np.ndarray, epsilon: float = 0.0, lo: float = 0.0, hi: float = 1.0,
+                rng: RngLike = None) -> float:
+    """The exact (non-private) median; the paper's ``kd-true`` baseline.
+
+    ``epsilon`` and ``rng`` are accepted (and ignored) so the function is a
+    drop-in replacement for the private methods in the tree builders.
+    """
+    vals = _prepare(values, lo, hi)
+    if vals.size == 0:
+        return _clamp((lo + hi) / 2.0, lo, hi)
+    return float(np.median(vals))
+
+
+# ----------------------------------------------------------------------
+# Exponential mechanism (Definition 5)
+# ----------------------------------------------------------------------
+def exponential_mechanism_median(
+    values: np.ndarray,
+    epsilon: float,
+    lo: float,
+    hi: float,
+    rng: RngLike = None,
+) -> float:
+    """Private median via the exponential mechanism.
+
+    The output ``x`` is drawn with probability proportional to
+    ``exp(-eps/2 * |rank(x) - rank(x_m)|)``.  Because all values between two
+    consecutive data points share a rank, the sampler first picks the interval
+    ``I_k = [x_k, x_{k+1})`` with probability proportional to
+    ``|I_k| * exp(-eps/2 * |k - m|)`` and then returns a uniform value inside
+    it, exactly as described after Definition 5.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    gen = ensure_rng(rng)
+    vals = _prepare(values, lo, hi)
+    n = vals.size
+    if n == 0:
+        return float(gen.uniform(lo, hi)) if hi > lo else float(lo)
+
+    # Interval endpoints: lo, x_1, ..., x_n, hi  ->  n + 1 intervals I_0..I_n,
+    # where a value in I_k has rank k (number of data values <= it).
+    edges = np.concatenate(([lo], vals, [hi]))
+    lengths = np.diff(edges)
+    ranks = np.arange(n + 1, dtype=float)
+    median_rank = n / 2.0
+    log_weights = -(epsilon / 2.0) * np.abs(ranks - median_rank)
+
+    positive = lengths > 0
+    if not np.any(positive):
+        # Degenerate domain (all mass at one point): the only possible output.
+        return _clamp(float(vals[n // 2]), lo, hi)
+
+    log_w = np.where(positive, log_weights + np.log(np.where(positive, lengths, 1.0)), -np.inf)
+    log_w -= log_w.max()
+    weights = np.exp(log_w)
+    probs = weights / weights.sum()
+    k = int(gen.choice(n + 1, p=probs))
+    left, right = edges[k], edges[k + 1]
+    if right <= left:
+        return _clamp(float(left), lo, hi)
+    return _clamp(float(gen.uniform(left, right)), lo, hi)
+
+
+# ----------------------------------------------------------------------
+# Smooth sensitivity (Definition 4)
+# ----------------------------------------------------------------------
+def smooth_sensitivity_of_median(
+    values: np.ndarray,
+    epsilon: float,
+    delta: float,
+    lo: float,
+    hi: float,
+    max_k: Optional[int] = None,
+) -> float:
+    """The ξ-smooth sensitivity of the median (Definition 4).
+
+    ``sigma_s = max_k exp(-k * xi) * max_t (x_{m+t} - x_{m+t-k-1})`` with
+    ``xi = eps / (4 * (1 + ln(2/delta)))`` and values outside ``[1, n]``
+    padded with ``lo`` / ``hi``.
+
+    The scan over ``k`` terminates early once ``exp(-k*xi) * (hi - lo)`` can
+    no longer beat the best value found (at that point every remaining term is
+    dominated), so the result is exact.  ``max_k`` optionally caps the scan;
+    when the cap is hit the tail is replaced by its upper bound
+    ``exp(-max_k*xi) * (hi - lo)``, which keeps the output a valid ξ-smooth
+    upper bound (privacy is preserved, utility can only degrade).
+    """
+    if epsilon <= 0 or not 0 < delta < 1:
+        raise ValueError("need epsilon > 0 and 0 < delta < 1")
+    vals = _prepare(values, lo, hi)
+    n = vals.size
+    domain = float(hi) - float(lo)
+    xi = epsilon / (4.0 * (1.0 + math.log(2.0 / delta)))
+    if n == 0:
+        return domain
+    # Padded 1-indexed array: x[0] = lo, x[1..n] = data, x[n+1..] = hi.
+    pad = n + 2
+    x = np.concatenate((np.full(pad, lo), vals, np.full(pad, hi)))
+    m = pad + (n - 1) // 2  # index of the median in the padded array
+    cap = n if max_k is None else min(int(max_k), n)
+
+    best = 0.0
+    k = 0
+    while k <= cap:
+        decay = math.exp(-k * xi)
+        if decay * domain <= best:
+            return best  # no remaining k can improve on `best`
+        # max over t in [0, k+1] of x[m+t] - x[m+t-k-1]
+        upper = x[m : m + k + 2]
+        lower = x[m - k - 1 : m + 1]
+        local = float(np.max(upper - lower))
+        best = max(best, decay * local)
+        k += 1
+    if max_k is not None and cap < n:
+        # Conservative tail bound keeps the estimate a valid smooth upper bound.
+        best = max(best, math.exp(-(cap + 1) * xi) * domain)
+    return best
+
+
+def smooth_sensitivity_median(
+    values: np.ndarray,
+    epsilon: float,
+    lo: float,
+    hi: float,
+    rng: RngLike = None,
+    delta: float = 1e-4,
+    max_k: Optional[int] = None,
+) -> float:
+    """Private median via smooth sensitivity: ``x_m + (2*sigma_s/eps) * Lap(1)``.
+
+    Satisfies (ε, δ)-differential privacy.  ``delta`` defaults to the paper's
+    experimental setting of ``1e-4``.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    gen = ensure_rng(rng)
+    vals = _prepare(values, lo, hi)
+    if vals.size == 0:
+        return _clamp((lo + hi) / 2.0, lo, hi)
+    sigma_s = smooth_sensitivity_of_median(vals, epsilon, delta, lo, hi, max_k=max_k)
+    median = float(vals[(vals.size - 1) // 2])
+    noise = float(laplace_noise(1.0, rng=gen))
+    return _clamp(median + (2.0 * sigma_s / epsilon) * noise, lo, hi)
+
+
+# ----------------------------------------------------------------------
+# Cell-based heuristic [26]
+# ----------------------------------------------------------------------
+def median_from_noisy_cells(noisy_counts: np.ndarray, edges: np.ndarray) -> float:
+    """Read a median off noisy per-cell counts.
+
+    ``edges`` has one more entry than ``noisy_counts``.  Negative noisy counts
+    are floored at zero (a standard post-processing step), the half-mass cell
+    is located on the cumulative distribution and the position is linearly
+    interpolated inside it under a within-cell uniformity assumption.
+    """
+    counts = np.clip(np.asarray(noisy_counts, dtype=float), 0.0, None)
+    edges = np.asarray(edges, dtype=float)
+    if edges.size != counts.size + 1:
+        raise ValueError("edges must have exactly one more entry than counts")
+    total = counts.sum()
+    if total <= 0:
+        return float((edges[0] + edges[-1]) / 2.0)
+    cum = np.cumsum(counts)
+    half = total / 2.0
+    idx = int(np.searchsorted(cum, half))
+    idx = min(idx, counts.size - 1)
+    prev = cum[idx - 1] if idx > 0 else 0.0
+    in_cell = counts[idx]
+    frac = 0.5 if in_cell <= 0 else (half - prev) / in_cell
+    frac = min(max(frac, 0.0), 1.0)
+    return float(edges[idx] + frac * (edges[idx + 1] - edges[idx]))
+
+
+def cell_median(
+    values: np.ndarray,
+    epsilon: float,
+    lo: float,
+    hi: float,
+    rng: RngLike = None,
+    n_cells: int = 1024,
+) -> float:
+    """Private median via the cell-based heuristic of [26].
+
+    A fixed-resolution grid of ``n_cells`` equal cells is laid over
+    ``[lo, hi]``, Laplace noise with parameter ``epsilon`` is added to every
+    cell count (cell counts have sensitivity 1 and the cells are disjoint, so
+    this is a single ``epsilon`` charge), and the median is read off the noisy
+    cumulative counts.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if n_cells < 1:
+        raise ValueError("n_cells must be at least 1")
+    gen = ensure_rng(rng)
+    vals = _prepare(values, lo, hi)
+    edges = np.linspace(lo, hi, n_cells + 1)
+    if hi <= lo:
+        return float(lo)
+    counts, _ = np.histogram(vals, bins=edges)
+    noisy = counts + laplace_noise(1.0 / epsilon, size=counts.shape, rng=gen)
+    return _clamp(median_from_noisy_cells(noisy, edges), lo, hi)
+
+
+# ----------------------------------------------------------------------
+# Noisy-mean heuristic [12]
+# ----------------------------------------------------------------------
+def noisy_mean_median(
+    values: np.ndarray,
+    epsilon: float,
+    lo: float,
+    hi: float,
+    rng: RngLike = None,
+) -> float:
+    """Private "median" via the noisy-mean surrogate of [12].
+
+    Half the budget goes to a noisy sum (sensitivity ``max(|lo|, |hi|)``), half
+    to a noisy count (sensitivity 1); the released value is their ratio,
+    clamped to the domain.  As the paper notes there is no guarantee this is
+    close to the median, which is exactly the weakness Figure 4(a) exhibits.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    gen = ensure_rng(rng)
+    vals = _prepare(values, lo, hi)
+    eps_half = epsilon / 2.0
+    noisy_sum = float(vals.sum()) + float(laplace_noise(sum_sensitivity(lo, hi) / eps_half, rng=gen))
+    noisy_count = float(vals.size) + float(laplace_noise(1.0 / eps_half, rng=gen))
+    if noisy_count < 1.0:
+        noisy_count = 1.0
+    return _clamp(noisy_sum / noisy_count, lo, hi)
+
+
+# ----------------------------------------------------------------------
+# Sampling wrappers (Theorem 7)
+# ----------------------------------------------------------------------
+def make_sampled_median(
+    base_method: MedianMethod,
+    sampling_rate: float,
+    amplify_budget: bool = True,
+) -> MedianMethod:
+    """Wrap a median method so it runs on a Bernoulli sample of the input.
+
+    Sampling amplifies privacy (Section 7 / Theorem 7), so the wrapper may run
+    the base method at a *larger* per-run budget while still delivering the
+    requested guarantee.  With ``amplify_budget=True`` the per-run budget is
+    obtained by inverting the tight amplification bound
+    ``eps' = ln(1 + (e^eps - 1) / p)`` (see
+    :func:`repro.privacy.sampling.tight_base_epsilon`); this reproduces the
+    paper's Figure 4 setting where a 0.01 per-level budget with 1 % sampling
+    becomes a per-run budget roughly 50-70x larger.  With
+    ``amplify_budget=False`` the base method simply runs at the target budget
+    on the sample (strictly more private, less accurate).
+    """
+    if not 0 < sampling_rate <= 1:
+        raise ValueError("sampling_rate must lie in (0, 1]")
+
+    def sampled(values: np.ndarray, epsilon: float, lo: float, hi: float,
+                rng: RngLike = None, **kwargs) -> float:
+        from .sampling import tight_base_epsilon
+
+        gen = ensure_rng(rng)
+        vals = np.asarray(values, dtype=float).ravel()
+        mask = gen.random(vals.size) < sampling_rate
+        sample = vals[mask]
+        eps_prime = tight_base_epsilon(epsilon, sampling_rate) if amplify_budget else epsilon
+        return base_method(sample, eps_prime, lo, hi, rng=gen, **kwargs)
+
+    sampled.__name__ = f"sampled_{getattr(base_method, '__name__', 'median')}"
+    sampled.__doc__ = f"Sampled (p={sampling_rate}) variant of {getattr(base_method, '__name__', 'median')}."
+    return sampled
+
+
+#: Registry of the paper's median methods keyed by the labels used in Figure 4.
+MEDIAN_METHODS: Dict[str, MedianMethod] = {
+    "true": true_median,
+    "em": exponential_mechanism_median,
+    "ss": smooth_sensitivity_median,
+    "cell": cell_median,
+    "noisymean": noisy_mean_median,
+    "ems": make_sampled_median(exponential_mechanism_median, sampling_rate=0.01),
+    "sss": make_sampled_median(smooth_sensitivity_median, sampling_rate=0.01),
+}
+
+
+def resolve_median_method(method: "str | MedianMethod") -> MedianMethod:
+    """Look up a median method by name, or pass a callable straight through."""
+    if callable(method):
+        return method
+    key = str(method).lower()
+    if key not in MEDIAN_METHODS:
+        raise KeyError(f"unknown median method {method!r}; available: {sorted(MEDIAN_METHODS)}")
+    return MEDIAN_METHODS[key]

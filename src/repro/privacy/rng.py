@@ -1,0 +1,47 @@
+"""Random-number-generator plumbing.
+
+Every randomized component in the library (noise mechanisms, private medians,
+sampling, data generators, query workloads) takes an explicit
+``numpy.random.Generator`` so that experiments are reproducible end to end.
+``ensure_rng`` is the single normalisation point: it accepts ``None``, an
+integer seed, or an existing generator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["RngLike", "ensure_rng", "spawn_rngs"]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Normalise ``rng`` into a :class:`numpy.random.Generator`.
+
+    * ``None``  → a fresh, OS-seeded generator;
+    * ``int``   → ``numpy.random.default_rng(seed)``;
+    * ``Generator`` → returned unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"rng must be None, an int seed, or a numpy Generator, got {type(rng)!r}")
+
+
+def spawn_rngs(rng: RngLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Used by experiment runners that fan out over repetitions so each
+    repetition has its own stream regardless of execution order.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    base = ensure_rng(rng)
+    seeds = base.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

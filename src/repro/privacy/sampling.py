@@ -1,0 +1,122 @@
+"""Privacy amplification by Bernoulli sampling (Theorem 7).
+
+The paper uses sampling in two ways:
+
+* to make the expensive private-median mechanisms (smooth sensitivity,
+  exponential mechanism) an order of magnitude faster by running them on a
+  1 % sample of the node's points;
+* as a generic amplification result: running an ε-DP algorithm on a sample
+  where each element is included independently with probability ``p`` is
+  ``2 p e^ε``-DP (their extension of Kasiviswanathan et al.).
+
+This module provides the sampling primitive, the amplification arithmetic in
+both directions, and a small helper that wraps an arbitrary ε-DP callable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Tuple
+
+import numpy as np
+
+from .rng import RngLike, ensure_rng
+
+__all__ = [
+    "bernoulli_sample",
+    "amplified_epsilon",
+    "required_base_epsilon",
+    "tight_base_epsilon",
+    "sampled_mechanism",
+]
+
+
+def bernoulli_sample(data: np.ndarray, rate: float, rng: RngLike = None) -> np.ndarray:
+    """Include each row of ``data`` independently with probability ``rate``."""
+    if not 0 <= rate <= 1:
+        raise ValueError("rate must lie in [0, 1]")
+    arr = np.asarray(data)
+    gen = ensure_rng(rng)
+    if rate == 1.0:
+        return arr.copy()
+    if rate == 0.0:
+        return arr[:0]
+    n = arr.shape[0]
+    mask = gen.random(n) < rate
+    return arr[mask]
+
+
+def amplified_epsilon(base_epsilon: float, rate: float) -> float:
+    """Privacy of running a ``base_epsilon``-DP algorithm on a ``rate``-sample.
+
+    Theorem 7: the composed procedure is ``2 * rate * exp(base_epsilon)``-DP.
+    """
+    if base_epsilon <= 0:
+        raise ValueError("base_epsilon must be positive")
+    if not 0 < rate <= 1:
+        raise ValueError("rate must lie in (0, 1]")
+    return 2.0 * rate * math.exp(base_epsilon)
+
+
+def required_base_epsilon(target_epsilon: float, rate: float, cap: float = 5.0) -> float:
+    """The largest per-run ε that keeps the sampled procedure ``target_epsilon``-DP.
+
+    Inverts Theorem 7: ``eps' = ln(target / (2 * rate))``.  When the target is
+    so small that even ``eps' = target`` over-delivers privacy (i.e. the
+    inversion yields a value below ``target``) the target itself is returned,
+    since running the base algorithm at the target budget on a sample is only
+    *more* private.  ``cap`` bounds the result so a very aggressive sampling
+    rate cannot produce a per-run budget large enough to be numerically silly.
+    """
+    if target_epsilon <= 0:
+        raise ValueError("target_epsilon must be positive")
+    if not 0 < rate <= 1:
+        raise ValueError("rate must lie in (0, 1]")
+    ratio = target_epsilon / (2.0 * rate)
+    if ratio <= 1.0:
+        return target_epsilon
+    return min(math.log(ratio), cap)
+
+
+def tight_base_epsilon(target_epsilon: float, rate: float, cap: float = 5.0) -> float:
+    """Per-run ε under the *tight* amplification bound, ``ln(1 + (e^eps - 1) / p)``.
+
+    The standard privacy-amplification-by-sampling result states that running
+    an ε'-DP algorithm on a Bernoulli ``p``-sample is
+    ``ln(1 + p (e^{ε'} - 1))``-DP, which Theorem 7's ``2 p e^{ε'}`` loosely
+    upper-bounds.  Inverting the tight form gives a usable per-run budget even
+    when the target is below ``2p`` (where the loose form has no solution) —
+    this matches the paper's Figure 4 experiment, where a per-level budget of
+    0.01 with 1 % sampling translates into a per-run budget "about 50 times
+    larger".
+    """
+    if target_epsilon <= 0:
+        raise ValueError("target_epsilon must be positive")
+    if not 0 < rate <= 1:
+        raise ValueError("rate must lie in (0, 1]")
+    eps_prime = math.log(1.0 + (math.exp(target_epsilon) - 1.0) / rate)
+    return float(min(max(eps_prime, target_epsilon), cap))
+
+
+def sampled_mechanism(
+    mechanism: Callable[..., float],
+    rate: float,
+) -> Callable[..., Tuple[float, float]]:
+    """Wrap ``mechanism(data, epsilon, *args, rng=...)`` to run on a sample.
+
+    The wrapper draws a Bernoulli ``rate``-sample, computes the per-run budget
+    via :func:`required_base_epsilon`, runs the mechanism on the sample at that
+    budget and returns ``(result, effective_epsilon)`` where
+    ``effective_epsilon`` is the amplified guarantee actually delivered.
+    """
+    if not 0 < rate <= 1:
+        raise ValueError("rate must lie in (0, 1]")
+
+    def wrapped(data: np.ndarray, epsilon: float, *args, rng: RngLike = None, **kwargs):
+        gen = ensure_rng(rng)
+        sample = bernoulli_sample(np.asarray(data), rate, rng=gen)
+        eps_prime = required_base_epsilon(epsilon, rate)
+        result = mechanism(sample, eps_prime, *args, rng=gen, **kwargs)
+        return result, amplified_epsilon(eps_prime, rate)
+
+    return wrapped

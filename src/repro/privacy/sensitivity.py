@@ -1,0 +1,53 @@
+"""Sensitivity calculations for the query functions used by the PSD framework.
+
+Definition 2 in the paper calibrates Laplace noise to the *sensitivity* of the
+released function: the maximum change in its value when one tuple is added to
+or removed from the dataset (the paper uses the add/remove neighbouring
+relation throughout).  This module collects the handful of sensitivities the
+framework relies on, each with its justification, so the mechanisms never
+hard-code magic constants.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "COUNT_SENSITIVITY",
+    "sum_sensitivity",
+    "mean_numerator_sensitivity",
+    "median_global_sensitivity",
+]
+
+#: Sensitivity of a count query.  Adding or removing one tuple changes any
+#: count by at most 1 (Definition 2's example).
+COUNT_SENSITIVITY: float = 1.0
+
+
+def sum_sensitivity(lo: float, hi: float) -> float:
+    """Sensitivity of a sum of values known to lie in ``[lo, hi]``.
+
+    Under add/remove neighbours, inserting or deleting one value changes the
+    sum by at most ``max(|lo|, |hi|)``; for the coordinate sums used by the
+    noisy-mean median surrogate the paper uses the domain size ``M``.
+    """
+    if hi < lo:
+        raise ValueError("hi must be at least lo")
+    return max(abs(float(lo)), abs(float(hi)))
+
+
+def mean_numerator_sensitivity(lo: float, hi: float) -> float:
+    """Sensitivity of the numerator (sum) used by the noisy-mean heuristic."""
+    return sum_sensitivity(lo, hi)
+
+
+def median_global_sensitivity(lo: float, hi: float) -> float:
+    """Global sensitivity of the median over a domain ``[lo, hi]``.
+
+    The paper notes that the global sensitivity of the median "is of the same
+    order of magnitude as the range M": in the worst case moving one element
+    shifts the median across (a constant fraction of) the whole domain, so the
+    conservative bound is the domain size itself.  This is why naive Laplace
+    noise on the median is useless and the paper studies smarter mechanisms.
+    """
+    if hi < lo:
+        raise ValueError("hi must be at least lo")
+    return float(hi) - float(lo)

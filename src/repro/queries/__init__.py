@@ -1,0 +1,33 @@
+"""Query workloads and accuracy metrics."""
+
+from .metrics import (
+    mean_relative_error,
+    median_relative_error,
+    rank_error,
+    relative_error,
+    relative_errors,
+    workload_error_summary,
+)
+from .workload import (
+    KD_QUERY_SHAPES,
+    PAPER_QUERY_SHAPES,
+    QueryShape,
+    QueryWorkload,
+    generate_workload,
+    workloads_for_shapes,
+)
+
+__all__ = [
+    "QueryShape",
+    "QueryWorkload",
+    "generate_workload",
+    "workloads_for_shapes",
+    "PAPER_QUERY_SHAPES",
+    "KD_QUERY_SHAPES",
+    "relative_error",
+    "relative_errors",
+    "median_relative_error",
+    "mean_relative_error",
+    "rank_error",
+    "workload_error_summary",
+]

@@ -1,0 +1,104 @@
+"""Accuracy metrics used throughout the experimental study.
+
+* **Relative error** of a single query and the **median relative error** of a
+  workload — the headline metric of Figures 3, 5 and 6 ("for each shape we
+  generate 600 queries that have a non-zero answer, and record the median
+  relative error").
+* **Normalized rank error** of a private median — the metric of Figure 4(a):
+  how far (in rank, as a fraction of the dataset size) the released split
+  point is from the true median, with values outside the data range counted
+  as 100 % error.
+* **Average query variance** — the theoretical error measure ``Err(Q)`` of
+  Section 4 (the variance of the unbiased estimator), exposed for the
+  analytical comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "relative_error",
+    "relative_errors",
+    "median_relative_error",
+    "mean_relative_error",
+    "rank_error",
+    "workload_error_summary",
+]
+
+
+def relative_error(estimate: float, truth: float, sanity_bound: float = 0.001) -> float:
+    """Relative error ``|estimate - truth| / max(truth, sanity_bound * something)``.
+
+    The workloads only contain queries with a strictly positive true answer, so
+    plain division is normally safe; ``sanity_bound`` guards the degenerate
+    case of a zero/near-zero truth by falling back to absolute error scaled by
+    the bound (mirroring the common convention in the follow-up literature).
+    """
+    truth = float(truth)
+    estimate = float(estimate)
+    denom = truth if truth > 0 else max(sanity_bound, 1e-12)
+    return abs(estimate - truth) / denom
+
+
+def relative_errors(estimates: Sequence[float], truths: Sequence[float]) -> np.ndarray:
+    """Vector of per-query relative errors."""
+    est = np.asarray(estimates, dtype=float)
+    tru = np.asarray(truths, dtype=float)
+    if est.shape != tru.shape:
+        raise ValueError("estimates and truths must have the same shape")
+    denom = np.where(tru > 0, tru, 1e-12)
+    return np.abs(est - tru) / denom
+
+
+def median_relative_error(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """The paper's workload metric: median of the per-query relative errors."""
+    errs = relative_errors(estimates, truths)
+    if errs.size == 0:
+        return float("nan")
+    return float(np.median(errs))
+
+
+def mean_relative_error(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """Mean per-query relative error (reported alongside the median in benches)."""
+    errs = relative_errors(estimates, truths)
+    if errs.size == 0:
+        return float("nan")
+    return float(np.mean(errs))
+
+
+def rank_error(values: np.ndarray, estimate: float, lo: float, hi: float) -> float:
+    """Normalized rank error of a private median estimate (Figure 4a).
+
+    The error is ``|rank(estimate) - n/2| / n`` expressed as a fraction in
+    ``[0, 1]``; estimates falling outside the data range ``[x_1, x_n]`` are
+    assigned the worst-case error of 1.0 ("100 % relative error"), as the
+    paper specifies.  ``lo``/``hi`` bound the public domain and are used only
+    to validate the estimate.
+    """
+    vals = np.sort(np.asarray(values, dtype=float).ravel())
+    n = vals.size
+    if n == 0:
+        return 0.0
+    estimate = float(estimate)
+    if estimate < lo or estimate > hi:
+        return 1.0
+    if estimate < vals[0] or estimate > vals[-1]:
+        return 1.0
+    rank = float(np.searchsorted(vals, estimate, side="right"))
+    return abs(rank - n / 2.0) / n
+
+
+def workload_error_summary(estimates: Sequence[float], truths: Sequence[float]) -> dict:
+    """A small dict of summary statistics for one workload."""
+    errs = relative_errors(estimates, truths)
+    if errs.size == 0:
+        return {"n": 0, "median": float("nan"), "mean": float("nan"), "p90": float("nan")}
+    return {
+        "n": int(errs.size),
+        "median": float(np.median(errs)),
+        "mean": float(np.mean(errs)),
+        "p90": float(np.percentile(errs, 90)),
+    }

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite.
+
+Everything random is seeded so the suite is deterministic.  The fixtures keep
+dataset sizes small (a few thousand points) — statistical assertions are made
+with generous tolerances and the heavier, paper-scale runs live in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import road_intersections, uniform_points
+from repro.geometry import Domain, TIGER_DOMAIN
+
+
+@pytest.fixture(scope="session")
+def unit_domain() -> Domain:
+    """The 2-D unit square domain."""
+    return Domain.unit(2)
+
+
+@pytest.fixture(scope="session")
+def tiger_domain() -> Domain:
+    """The paper's TIGER coordinate box."""
+    return TIGER_DOMAIN
+
+
+@pytest.fixture(scope="session")
+def small_uniform_points(unit_domain) -> np.ndarray:
+    """2 000 uniform points in the unit square."""
+    return uniform_points(2_000, unit_domain, rng=np.random.default_rng(101))
+
+
+@pytest.fixture(scope="session")
+def road_points(tiger_domain) -> np.ndarray:
+    """8 000 synthetic road-intersection points (the TIGER-like distribution)."""
+    return road_intersections(n=8_000, rng=np.random.default_rng(202))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh seeded generator per test."""
+    return np.random.default_rng(12345)

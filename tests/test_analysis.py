@@ -1,0 +1,162 @@
+"""Tests for the analytical error bounds and budget analytics (Section 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    best_geometric_ratio,
+    compare_strategies,
+    empirical_error_for_strategy,
+    geometric_budget_error,
+    kdtree_level_bound,
+    kdtree_touched_bound,
+    optimal_geometric_epsilons,
+    quadtree_level_bound,
+    quadtree_touched_bound,
+    query_error_bound,
+    uniform_budget_error,
+    worst_case_error_curves,
+    worst_case_error_for_strategy,
+)
+from repro.core import build_psd
+from repro.core.budget import geometric_level_epsilons, uniform_level_epsilons
+from repro.core.splits import QuadSplit
+from repro.data import uniform_points
+from repro.geometry import Domain, Rect
+
+
+class TestLemma2Bounds:
+    def test_quadtree_level_bound_formula(self):
+        # 8 * 2^{h-i}, capped at the number of nodes 4^{h-i}.
+        assert quadtree_level_bound(5, 5) == 1          # root level: single node
+        assert quadtree_level_bound(5, 4) == 4          # capped by node count
+        assert quadtree_level_bound(5, 0) == 8 * 2**5
+
+    def test_kdtree_level_bound_formula(self):
+        assert kdtree_level_bound(6, 6) == 1
+        assert kdtree_level_bound(6, 0) == min(8 * 2 ** ((6 + 1) // 2), 2**6)
+
+    def test_touched_bounds(self):
+        assert quadtree_touched_bound(10) == 8 * (2**11 - 1)
+        assert kdtree_touched_bound(10) == 8 * (2 ** ((11) // 2 + 1) - 1)
+
+    def test_kdtree_bound_smaller_than_quadtree(self):
+        for h in range(1, 12):
+            assert kdtree_touched_bound(h) <= quadtree_touched_bound(h)
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            quadtree_level_bound(3, 4)
+        with pytest.raises(ValueError):
+            kdtree_level_bound(3, -1)
+        with pytest.raises(ValueError):
+            quadtree_touched_bound(-1)
+
+
+class TestEquation1:
+    def test_query_error_bound(self):
+        eps = (0.5, 0.25)
+        counts = {0: 4, 1: 1}
+        expected = 2 * 4 / 0.25 + 2 * 1 / 0.0625
+        assert query_error_bound(counts, eps) == pytest.approx(expected)
+
+    def test_zero_budget_level_touched_raises(self):
+        with pytest.raises(ValueError):
+            query_error_bound({1: 3}, (1.0, 0.0))
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            query_error_bound({5: 1}, (1.0, 1.0))
+
+
+class TestFigure2Curves:
+    def test_closed_forms(self):
+        h, eps = 8, 1.0
+        assert uniform_budget_error(h, eps) == pytest.approx(16 * (h + 1) ** 2 * (2 ** (h + 1) - 1))
+        ratio = (2 ** ((h + 1) / 3) - 1) / (2 ** (1 / 3) - 1)
+        assert geometric_budget_error(h, eps) == pytest.approx(16 * ratio**3)
+
+    def test_geometric_grows_like_2_to_h(self):
+        # Lemma 3: Err_geom = 16 ((2^{(h+1)/3}-1)/(2^{1/3}-1))^3 <= 16 * 2^{h+1} / (2^{1/3}-1)^3,
+        # i.e. it grows like 2^h, whereas the uniform bound grows like (h+1)^2 2^h.
+        for h in range(1, 13):
+            assert geometric_budget_error(h, 1.0) <= 16 * 2 ** (h + 1) / (2 ** (1 / 3) - 1) ** 3
+            assert geometric_budget_error(h, 1.0) <= uniform_budget_error(h, 1.0)
+
+    def test_curves_shape(self):
+        curves = worst_case_error_curves(range(5, 11))
+        assert np.all(np.diff(curves["uniform"]) > 0)
+        assert np.all(np.diff(curves["geometric"]) > 0)
+        assert np.all(curves["uniform"] > curves["geometric"])
+
+    def test_epsilon_scaling(self):
+        assert uniform_budget_error(6, 0.5) == pytest.approx(4 * uniform_budget_error(6, 1.0))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            uniform_budget_error(-1)
+        with pytest.raises(ValueError):
+            geometric_budget_error(3, 0.0)
+
+
+class TestLemma3Optimality:
+    def test_optimal_epsilons_sum_to_budget(self):
+        eps = optimal_geometric_epsilons(7, 0.8)
+        assert sum(eps) == pytest.approx(0.8)
+
+    def test_matches_budget_module(self):
+        assert np.allclose(optimal_geometric_epsilons(9, 1.3), geometric_level_epsilons(9, 1.3))
+
+    @given(st.integers(1, 10), st.floats(0.05, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_geometric_minimises_worst_case_bound(self, height, epsilon):
+        """Lemma 3: no tested allocation beats the geometric one on the worst-case bound."""
+        geo = worst_case_error_for_strategy("geometric", height, epsilon)
+        uni = worst_case_error_for_strategy("uniform", height, epsilon)
+        assert geo <= uni + 1e-9
+
+    def test_grid_search_lands_near_cube_root_of_two(self):
+        # The grid search optimises the bound with capped per-level counts, which
+        # shifts the optimum slightly above Lemma 3's 2^{1/3}; it converges as h grows.
+        assert best_geometric_ratio(8, 1.0)["ratio"] == pytest.approx(2 ** (1 / 3), abs=0.12)
+        assert best_geometric_ratio(12, 1.0)["ratio"] == pytest.approx(2 ** (1 / 3), abs=0.06)
+
+
+class TestStrategyComparisons:
+    def test_compare_strategies_rows(self):
+        rows = compare_strategies(6, 0.5)
+        names = {r.strategy for r in rows}
+        assert names == {"uniform", "geometric", "leaf-only"}
+        by_name = {r.strategy: r.worst_case_error for r in rows}
+        assert by_name["geometric"] < by_name["uniform"]
+
+    def test_leaf_only_is_much_worse(self):
+        """Pricing the leaf-only strategy: queries must be assembled from many leaves."""
+        rows = {r.strategy: r.worst_case_error for r in compare_strategies(8, 0.5)}
+        assert rows["leaf-only"] > rows["geometric"]
+
+    def test_leaf_budget_required(self):
+        from repro.core.budget import CustomBudget
+
+        with pytest.raises(ValueError):
+            worst_case_error_for_strategy(CustomBudget(weights=(0.0, 1.0, 1.0)), 2, 1.0)
+
+    def test_empirical_error_for_strategy(self):
+        domain = Domain.unit(2)
+        points = uniform_points(1_000, domain, rng=np.random.default_rng(3))
+        psd = build_psd(points, domain, 3, QuadSplit(), epsilon=1.0, rng=4)
+        queries = [Rect((0.1, 0.1), (0.6, 0.7)), Rect((0.0, 0.0), (0.5, 0.5))]
+        geo = empirical_error_for_strategy(psd, queries, "geometric", 1.0)
+        uni = empirical_error_for_strategy(psd, queries, "uniform", 1.0)
+        assert geo > 0 and uni > 0
+        assert geo < uni  # geometric helps on real query decompositions too
+
+    def test_empirical_error_empty_workload_nan(self):
+        domain = Domain.unit(2)
+        points = uniform_points(200, domain, rng=np.random.default_rng(5))
+        psd = build_psd(points, domain, 2, QuadSplit(), epsilon=1.0, rng=6)
+        assert np.isnan(empirical_error_for_strategy(psd, [], "uniform", 1.0))

@@ -1,0 +1,110 @@
+"""Tests for the private record-matching application (Section 8.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.applications import (
+    BlockingResult,
+    blocking_from_psd,
+    build_blocking_tree,
+    record_matching_experiment,
+)
+from repro.data import gaussian_cluster_points
+from repro.geometry import Domain
+
+
+@pytest.fixture(scope="module")
+def domain():
+    return Domain.unit(2)
+
+
+@pytest.fixture(scope="module")
+def parties(domain):
+    rng = np.random.default_rng(41)
+    holders = gaussian_cluster_points(3_000, domain, n_clusters=5, spread=0.04, rng=rng)
+    # Half of party B are near-duplicates of party A records (true matches).
+    near = holders[rng.integers(0, holders.shape[0], 1_500)] + rng.normal(scale=0.002, size=(1_500, 2))
+    fresh = gaussian_cluster_points(1_500, domain, n_clusters=5, spread=0.04, rng=rng)
+    seekers = domain.clip_points(np.concatenate([near, fresh]))
+    return holders, seekers
+
+
+class TestBuildBlockingTree:
+    @pytest.mark.parametrize("method", ["quad-baseline", "kd-noisymean", "kd-standard"])
+    def test_leaf_only_budget_and_no_postprocessing(self, domain, parties, method):
+        holders, _ = parties
+        psd = build_blocking_tree(holders, domain, height=4, epsilon=0.3, method=method, rng=1)
+        assert psd.count_epsilons[0] == pytest.approx(
+            0.3 if method == "quad-baseline" else 0.3 * 0.7
+        )
+        assert all(e == 0.0 for e in psd.count_epsilons[1:])
+        assert all(n.post_count is None for n in psd.nodes())
+        psd.accountant.assert_within_budget()
+
+    def test_unknown_method(self, domain, parties):
+        with pytest.raises(KeyError):
+            build_blocking_tree(parties[0], domain, 4, 0.3, method="rtree")
+
+
+class TestBlockingFromPsd:
+    def test_result_fields_valid(self, domain, parties):
+        holders, seekers = parties
+        psd = build_blocking_tree(holders, domain, height=4, epsilon=0.5, method="kd-standard", rng=2)
+        result = blocking_from_psd(psd, holders, seekers, matching_distance=0.01)
+        assert isinstance(result, BlockingResult)
+        assert 0.0 <= result.reduction_ratio <= 1.0
+        assert 0.0 <= result.pairs_completeness <= 1.0
+        assert result.total_pairs == holders.shape[0] * seekers.shape[0]
+        assert 0 <= result.candidate_pairs
+        assert result.surviving_leaves <= len(psd.leaves())
+
+    def test_blocking_actually_reduces_work(self, domain, parties):
+        holders, seekers = parties
+        psd = build_blocking_tree(holders, domain, height=4, epsilon=0.5, method="kd-standard", rng=3)
+        result = blocking_from_psd(psd, holders, seekers, matching_distance=0.01)
+        assert result.reduction_ratio > 0.3
+        assert result.pairs_completeness > 0.7
+
+    def test_empty_parties(self, domain, parties):
+        holders, _ = parties
+        psd = build_blocking_tree(holders, domain, height=3, epsilon=0.5, method="kd-standard", rng=4)
+        result = blocking_from_psd(psd, holders, np.empty((0, 2)), matching_distance=0.01)
+        assert result.total_pairs == 0
+        assert result.reduction_ratio == 1.0
+
+    def test_rejects_bad_shapes(self, domain, parties):
+        holders, seekers = parties
+        psd = build_blocking_tree(holders, domain, height=3, epsilon=0.5, method="kd-standard", rng=5)
+        with pytest.raises(ValueError):
+            blocking_from_psd(psd, holders.ravel(), seekers, matching_distance=0.01)
+
+    def test_larger_budget_improves_reduction(self, domain, parties):
+        holders, seekers = parties
+        results = {}
+        for eps in (0.05, 1.0):
+            psd = build_blocking_tree(holders, domain, height=5, epsilon=eps, method="kd-standard", rng=6)
+            results[eps] = blocking_from_psd(psd, holders, seekers, matching_distance=0.01)
+        assert results[1.0].reduction_ratio >= results[0.05].reduction_ratio - 0.02
+
+
+class TestExperimentSweep:
+    def test_sweep_structure(self, domain, parties):
+        holders, seekers = parties
+        out = record_matching_experiment(holders, seekers, domain, epsilons=(0.1, 0.3),
+                                         height=4, matching_distance=0.01,
+                                         methods=("kd-standard", "kd-noisymean"), rng=7)
+        assert set(out) == {"kd-standard", "kd-noisymean"}
+        for series in out.values():
+            assert [e for e, _ in series] == [0.1, 0.3]
+            for _, result in series:
+                assert isinstance(result, BlockingResult)
+
+    def test_kd_standard_beats_noisymean_on_average(self, domain, parties):
+        holders, seekers = parties
+        out = record_matching_experiment(holders, seekers, domain, epsilons=(0.1, 0.3, 0.5),
+                                         height=4, matching_distance=0.01,
+                                         methods=("kd-standard", "kd-noisymean"), rng=8)
+        mean_rr = {m: np.mean([r.reduction_ratio for _, r in series]) for m, series in out.items()}
+        assert mean_rr["kd-standard"] > mean_rr["kd-noisymean"] - 0.05

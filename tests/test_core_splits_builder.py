@@ -1,0 +1,234 @@
+"""Tests for the split rules and the generic PSD builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.builder import BudgetSplit, build_psd, populate_noisy_counts
+from repro.core.splits import CellKDSplit, HybridSplit, KDSplit, QuadSplit, grid_median_along_axis
+from repro.data import uniform_points
+from repro.geometry import Domain, Rect
+from repro.index import UniformGrid
+
+
+@pytest.fixture(scope="module")
+def domain():
+    return Domain.unit(2)
+
+
+@pytest.fixture(scope="module")
+def points(domain):
+    return uniform_points(3_000, domain, rng=np.random.default_rng(5))
+
+
+def children_partition_points(children, total_points):
+    counted = sum(pts.shape[0] for _, pts in children)
+    assert counted == total_points
+
+
+# ----------------------------------------------------------------------
+# Split rules
+# ----------------------------------------------------------------------
+class TestQuadSplit:
+    def test_four_equal_children(self, domain, points):
+        rule = QuadSplit()
+        children = rule.split(domain.rect, points, level=3, height=3, domain=domain, epsilon_median=0.0)
+        assert len(children) == 4
+        areas = [rect.area for rect, _ in children]
+        assert all(a == pytest.approx(0.25) for a in areas)
+        children_partition_points(children, points.shape[0])
+
+    def test_not_data_dependent(self):
+        rule = QuadSplit()
+        assert not rule.is_data_dependent(3, 5)
+        assert rule.data_dependent_levels(5) == []
+
+
+class TestKDSplit:
+    def test_fanout_four_and_partition(self, domain, points, rng):
+        rule = KDSplit(median_method="true")
+        children = rule.split(domain.rect, points, level=2, height=4, domain=domain,
+                              epsilon_median=0.0, rng=rng)
+        assert len(children) == 4
+        children_partition_points(children, points.shape[0])
+
+    def test_true_median_balances_counts(self, domain, points, rng):
+        rule = KDSplit(median_method="true")
+        children = rule.split(domain.rect, points, level=2, height=4, domain=domain,
+                              epsilon_median=0.0, rng=rng)
+        counts = [pts.shape[0] for _, pts in children]
+        assert max(counts) - min(counts) <= points.shape[0] * 0.05 + 4
+
+    def test_private_median_split_stays_inside_rect(self, domain, points, rng):
+        rule = KDSplit(median_method="em")
+        children = rule.split(domain.rect, points, level=2, height=4, domain=domain,
+                              epsilon_median=0.5, rng=rng)
+        for rect, _ in children:
+            assert domain.rect.contains_rect(rect)
+
+    def test_zero_budget_falls_back_to_midpoint(self, domain, points, rng):
+        rule = KDSplit(median_method="em")
+        children = rule.split(domain.rect, points, level=2, height=4, domain=domain,
+                              epsilon_median=0.0, rng=rng)
+        # With the midpoint fallback the children are the four equal quadrants.
+        areas = sorted(rect.area for rect, _ in children)
+        assert areas == pytest.approx([0.25, 0.25, 0.25, 0.25])
+
+    def test_is_data_dependent_everywhere(self):
+        assert KDSplit().data_dependent_levels(4) == [1, 2, 3, 4]
+
+
+class TestHybridSplit:
+    def test_switch_level(self):
+        rule = HybridSplit(kd_levels=2)
+        assert rule.is_data_dependent(5, 5)
+        assert rule.is_data_dependent(4, 5)
+        assert not rule.is_data_dependent(3, 5)
+        assert rule.data_dependent_levels(5) == [4, 5]
+
+    def test_quad_below_switch(self, domain, points, rng):
+        rule = HybridSplit(kd_levels=1, median_method="true")
+        children = rule.split(domain.rect, points, level=2, height=5, domain=domain,
+                              epsilon_median=0.0, rng=rng)
+        areas = sorted(rect.area for rect, _ in children)
+        assert areas == pytest.approx([0.25, 0.25, 0.25, 0.25])
+
+    def test_negative_levels_rejected(self):
+        with pytest.raises(ValueError):
+            HybridSplit(kd_levels=-1)
+
+
+class TestCellKDSplit:
+    @pytest.fixture(scope="class")
+    def noisy_grid(self, domain, points):
+        grid = UniformGrid(domain=domain, shape=(32, 32)).fit(points)
+        return grid.noisy_counts(50.0, rng=np.random.default_rng(0))
+
+    def test_requires_grid(self):
+        with pytest.raises(ValueError):
+            CellKDSplit(noisy_grid=None)
+
+    def test_fanout_and_partition(self, domain, points, noisy_grid, rng):
+        rule = CellKDSplit(noisy_grid=noisy_grid)
+        children = rule.split(domain.rect, points, level=2, height=4, domain=domain,
+                              epsilon_median=0.0, rng=rng)
+        assert len(children) == 4
+        children_partition_points(children, points.shape[0])
+
+    def test_grid_median_close_to_true_median(self, domain, points, noisy_grid):
+        est = grid_median_along_axis(noisy_grid, domain.rect, axis=0)
+        assert est == pytest.approx(np.median(points[:, 0]), abs=0.1)
+
+    def test_grid_median_on_disjoint_rect(self, noisy_grid):
+        outside = Rect((5.0, 5.0), (6.0, 6.0))
+        assert grid_median_along_axis(noisy_grid, outside, axis=0) == pytest.approx(5.5)
+
+    def test_grid_median_invalid_axis(self, domain, noisy_grid):
+        with pytest.raises(ValueError):
+            grid_median_along_axis(noisy_grid, domain.rect, axis=3)
+
+    def test_not_data_dependent(self, noisy_grid):
+        assert CellKDSplit(noisy_grid=noisy_grid).data_dependent_levels(5) == []
+
+
+# ----------------------------------------------------------------------
+# BudgetSplit and builder
+# ----------------------------------------------------------------------
+class TestBudgetSplit:
+    def test_default_70_30(self):
+        count, median = BudgetSplit().partition(1.0, data_dependent=True)
+        assert count == pytest.approx(0.7)
+        assert median == pytest.approx(0.3)
+
+    def test_data_independent_gets_everything(self):
+        count, median = BudgetSplit(count_fraction=0.5).partition(1.0, data_dependent=False)
+        assert count == pytest.approx(1.0)
+        assert median == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BudgetSplit(count_fraction=0.0)
+        with pytest.raises(ValueError):
+            BudgetSplit().partition(0.0, data_dependent=True)
+
+
+class TestBuilder:
+    def test_complete_tree_structure(self, domain, points):
+        psd = build_psd(points, domain, 3, QuadSplit(), epsilon=1.0, rng=1)
+        assert psd.is_complete()
+        assert psd.node_count() == sum(4**i for i in range(4))
+        assert psd.height == 3 and psd.fanout == 4
+
+    def test_true_counts_partition_data(self, domain, points):
+        psd = build_psd(points, domain, 3, QuadSplit(), epsilon=1.0, rng=1)
+        assert psd.root._true_count == points.shape[0]
+        for node in psd.nodes():
+            if not node.is_leaf:
+                assert node._true_count == sum(c._true_count for c in node.children)
+
+    def test_accountant_charges_sum_to_epsilon(self, domain, points):
+        psd = build_psd(points, domain, 3, KDSplit(median_method="em"), epsilon=0.8,
+                        count_budget="geometric", rng=2)
+        acc = psd.accountant
+        assert acc.path_epsilon == pytest.approx(0.8)
+        assert acc.per_kind["count"] == pytest.approx(0.56)
+        assert acc.per_kind["median"] == pytest.approx(0.24)
+        acc.assert_within_budget()
+
+    def test_noiseless_counts_for_baselines(self, domain, points):
+        psd = build_psd(points, domain, 2, KDSplit(median_method="true"), epsilon=1.0,
+                        budget_split=BudgetSplit(count_fraction=1.0), noiseless_counts=True, rng=3)
+        for node in psd.nodes():
+            assert node.noisy_count == node._true_count
+
+    def test_zero_budget_levels_release_nothing(self, domain, points):
+        psd = build_psd(points, domain, 2, QuadSplit(), epsilon=1.0, count_budget="leaf-only", rng=4)
+        assert np.isnan(psd.root.noisy_count)
+        for leaf in psd.leaves():
+            assert np.isfinite(leaf.noisy_count)
+
+    def test_postprocess_and_prune_flags(self, domain, points):
+        # 3 000 points over 16 level-1 nodes gives ~190 per node; a threshold of
+        # 250 therefore cuts every level-1 subtree while keeping level 2.
+        psd = build_psd(points, domain, 3, QuadSplit(), epsilon=1.0, rng=5,
+                        postprocess=True, prune_threshold=250.0)
+        assert all(n.post_count is not None for n in psd.nodes())
+        assert psd.node_count() < sum(4**i for i in range(4))
+
+    def test_invalid_parameters(self, domain, points):
+        with pytest.raises(ValueError):
+            build_psd(points, domain, -1, QuadSplit(), epsilon=1.0)
+        with pytest.raises(ValueError):
+            build_psd(points, domain, 2, QuadSplit(), epsilon=0.0)
+
+    def test_populate_noisy_counts_redraws(self, domain, points):
+        psd = build_psd(points, domain, 2, QuadSplit(), epsilon=1.0, rng=6)
+        first = psd.root.noisy_count
+        populate_noisy_counts(psd, rng=np.random.default_rng(123))
+        assert psd.root.noisy_count != first
+
+    def test_points_outside_domain_rejected(self, domain):
+        bad = np.array([[0.5, 1.5]])
+        with pytest.raises(ValueError):
+            build_psd(bad, domain, 2, QuadSplit(), epsilon=1.0)
+
+    def test_height_zero_single_node(self, domain, points):
+        psd = build_psd(points, domain, 0, QuadSplit(), epsilon=1.0, rng=7)
+        assert psd.node_count() == 1
+        assert psd.root.is_leaf
+
+    def test_empty_dataset(self, domain):
+        psd = build_psd(np.empty((0, 2)), domain, 2, QuadSplit(), epsilon=1.0, rng=8)
+        assert psd.root._true_count == 0
+        assert psd.is_complete()
+
+    def test_noise_statistics_match_level_epsilon(self, domain, points):
+        """Leaf-level noise should have the variance implied by the leaf epsilon."""
+        psd = build_psd(points, domain, 4, QuadSplit(), epsilon=1.0, count_budget="geometric",
+                        rng=np.random.default_rng(9))
+        leaves = psd.leaves()
+        residuals = np.array([leaf.noisy_count - leaf._true_count for leaf in leaves])
+        eps_leaf = psd.count_epsilons[0]
+        expected_var = 2.0 / eps_leaf**2
+        assert np.var(residuals) == pytest.approx(expected_var, rel=0.4)

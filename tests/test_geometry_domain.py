@@ -1,0 +1,83 @@
+"""Tests for Domain: validation, normalisation, query-rectangle construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import Domain, Rect, TIGER_DOMAIN
+
+
+class TestConstruction:
+    def test_from_bounds_and_unit(self):
+        d = Domain.from_bounds((0.0, -1.0), (2.0, 1.0), name="box")
+        assert d.dims == 2
+        assert d.area == pytest.approx(4.0)
+        assert d.name == "box"
+        assert Domain.unit(3).dims == 3
+
+    def test_tiger_domain_matches_paper(self):
+        assert TIGER_DOMAIN.rect.lo == (-124.82, 31.33)
+        assert TIGER_DOMAIN.rect.hi == (-103.00, 49.00)
+
+
+class TestPointHandling:
+    def test_contains_closed_boundary(self):
+        d = Domain.unit(2)
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [1.0001, 0.5]])
+        assert d.contains(pts).tolist() == [True, True, False]
+
+    def test_validate_points_accepts_inside(self):
+        d = Domain.unit(2)
+        pts = np.array([[0.2, 0.4], [1.0, 0.0]])
+        out = d.validate_points(pts)
+        assert out.shape == (2, 2)
+
+    def test_validate_points_rejects_outside(self):
+        d = Domain.unit(2)
+        with pytest.raises(ValueError, match="outside"):
+            d.validate_points(np.array([[0.5, 1.5]]))
+
+    def test_validate_points_rejects_wrong_dims(self):
+        d = Domain.unit(2)
+        with pytest.raises(ValueError, match="dims"):
+            d.validate_points(np.zeros((4, 3)))
+
+    def test_validate_reshapes_1d(self):
+        d = Domain.unit(1)
+        out = d.validate_points(np.array([0.1, 0.9]))
+        assert out.shape == (2, 1)
+
+    def test_clip_points(self):
+        d = Domain.unit(2)
+        clipped = d.clip_points(np.array([[2.0, -1.0]]))
+        assert clipped.tolist() == [[1.0, 0.0]]
+
+    def test_normalize_roundtrip(self):
+        d = Domain.from_bounds((-10.0, 5.0), (10.0, 25.0))
+        pts = np.array([[-10.0, 5.0], [10.0, 25.0], [0.0, 15.0]])
+        unit = d.normalize(pts)
+        assert np.allclose(unit, [[0, 0], [1, 1], [0.5, 0.5]])
+        assert np.allclose(d.denormalize(unit), pts)
+
+
+class TestQueryRect:
+    def test_query_rect_centre_and_extents(self):
+        d = Domain.from_bounds((0.0, 0.0), (10.0, 10.0))
+        q = d.query_rect((5.0, 5.0), (2.0, 4.0))
+        assert q == Rect((4.0, 3.0), (6.0, 7.0))
+
+    def test_query_rect_clipped_to_domain(self):
+        d = Domain.unit(2)
+        q = d.query_rect((0.0, 0.0), (1.0, 1.0))
+        assert q.lo == (0.0, 0.0)
+        assert q.hi == (0.5, 0.5)
+
+    def test_query_rect_never_inverted(self):
+        d = Domain.unit(2)
+        q = d.query_rect((2.0, 2.0), (0.1, 0.1))  # centre outside the domain
+        assert all(lo <= hi for lo, hi in zip(q.lo, q.hi))
+
+    def test_fraction_extents(self):
+        d = Domain.from_bounds((0.0, 0.0), (20.0, 10.0))
+        assert d.fraction_extents((0.5, 0.1)) == (10.0, 1.0)

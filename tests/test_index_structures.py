@@ -1,0 +1,198 @@
+"""Tests for the exact (non-private) index substrate: grid, quadtree, kd-tree, Hilbert R-tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import Domain, Rect
+from repro.index import (
+    ExactHilbertRTree,
+    ExactKDTree,
+    ExactQuadtree,
+    UniformGrid,
+)
+
+
+def brute_force_count(points: np.ndarray, query: Rect) -> int:
+    return int(query.count_points(points, closed_hi=True))
+
+
+# ----------------------------------------------------------------------
+# Uniform grid
+# ----------------------------------------------------------------------
+class TestUniformGrid:
+    def test_counts_sum_to_n(self, unit_domain, small_uniform_points):
+        grid = UniformGrid(domain=unit_domain, shape=(16, 16)).fit(small_uniform_points)
+        assert grid.counts.sum() == pytest.approx(small_uniform_points.shape[0])
+
+    def test_shape_validation(self, unit_domain):
+        with pytest.raises(ValueError):
+            UniformGrid(domain=unit_domain, shape=(4,))
+        with pytest.raises(ValueError):
+            UniformGrid(domain=unit_domain, shape=(0, 4))
+
+    def test_cell_rect_and_edges(self, unit_domain):
+        grid = UniformGrid(domain=unit_domain, shape=(4, 2))
+        assert grid.cell_rect((0, 0)) == Rect((0.0, 0.0), (0.25, 0.5))
+        assert np.allclose(grid.edges(0), [0, 0.25, 0.5, 0.75, 1.0])
+        assert grid.n_cells == 8
+
+    def test_exact_query_on_aligned_rect(self, unit_domain, small_uniform_points):
+        grid = UniformGrid(domain=unit_domain, shape=(8, 8)).fit(small_uniform_points)
+        query = Rect((0.25, 0.25), (0.75, 0.75))  # aligned with cell edges
+        estimate = grid.range_count(query)
+        # Aligned queries are exact up to boundary points sitting exactly on edges.
+        assert estimate == pytest.approx(brute_force_count(small_uniform_points, query), abs=6)
+
+    def test_partial_cell_uniformity(self, unit_domain):
+        grid = UniformGrid(domain=unit_domain, shape=(1, 1))
+        grid.counts = np.array([[100.0]])
+        query = Rect((0.0, 0.0), (0.5, 0.5))
+        assert grid.range_count(query) == pytest.approx(25.0)
+
+    def test_disjoint_query_zero(self, unit_domain, small_uniform_points):
+        grid = UniformGrid(domain=unit_domain, shape=(4, 4)).fit(small_uniform_points)
+        assert grid.range_count(Rect((2.0, 2.0), (3.0, 3.0))) == 0.0
+
+    def test_point_cells_in_range(self, unit_domain, small_uniform_points):
+        grid = UniformGrid(domain=unit_domain, shape=(8, 8))
+        cells = grid.point_cells(small_uniform_points)
+        assert cells.min() >= 0 and cells.max() <= 7
+
+    def test_noisy_counts_epsilon_validation(self, unit_domain, small_uniform_points):
+        grid = UniformGrid(domain=unit_domain, shape=(4, 4)).fit(small_uniform_points)
+        with pytest.raises(ValueError):
+            grid.noisy_counts(0.0)
+
+    def test_noisy_counts_statistics(self, unit_domain, small_uniform_points, rng):
+        grid = UniformGrid(domain=unit_domain, shape=(4, 4)).fit(small_uniform_points)
+        noisy = grid.noisy_counts(10.0, rng=rng)
+        assert np.allclose(noisy.counts, grid.counts, atol=5.0)
+        assert noisy.non_negative().counts.min() >= 0.0
+
+    def test_noisy_grid_range_count(self, unit_domain, small_uniform_points, rng):
+        grid = UniformGrid(domain=unit_domain, shape=(8, 8)).fit(small_uniform_points)
+        noisy = grid.noisy_counts(5.0, rng=rng)
+        query = Rect((0.1, 0.1), (0.9, 0.9))
+        assert noisy.range_count(query) == pytest.approx(grid.range_count(query), rel=0.1)
+
+
+# ----------------------------------------------------------------------
+# Exact quadtree
+# ----------------------------------------------------------------------
+class TestExactQuadtree:
+    @pytest.fixture(scope="class")
+    def tree(self, unit_domain, small_uniform_points):
+        return ExactQuadtree(domain=unit_domain, height=4).fit(small_uniform_points)
+
+    def test_complete_structure(self, tree):
+        assert tree.node_count() == sum(4**i for i in range(5))
+        assert len(tree.leaves()) == 4**4
+
+    def test_counts_consistent(self, tree):
+        for node in tree.nodes():
+            if not node.is_leaf:
+                assert node.count == sum(c.count for c in node.children)
+
+    def test_root_count_is_n(self, tree, small_uniform_points):
+        assert tree.root.count == small_uniform_points.shape[0]
+
+    def test_range_count_matches_brute_force_on_aligned_query(self, tree, small_uniform_points):
+        query = Rect((0.25, 0.5), (0.75, 1.0))
+        assert tree.range_count(query, use_uniformity=False) == pytest.approx(
+            brute_force_count(small_uniform_points, query), abs=6
+        )
+
+    def test_range_count_uniformity_close(self, tree, small_uniform_points):
+        query = Rect((0.13, 0.21), (0.77, 0.66))
+        estimate = tree.range_count(query)
+        truth = brute_force_count(small_uniform_points, query)
+        assert estimate == pytest.approx(truth, rel=0.15)
+
+    def test_nodes_touched_within_lemma2_bound(self, tree):
+        from repro.analysis import quadtree_touched_bound
+
+        query = Rect((0.111, 0.222), (0.777, 0.888))
+        assert tree.nodes_touched(query) <= quadtree_touched_bound(tree.height)
+
+    def test_query_before_fit_raises(self, unit_domain):
+        with pytest.raises(RuntimeError):
+            ExactQuadtree(domain=unit_domain, height=2).range_count(Rect.unit(2))
+
+    def test_height_zero_tree(self, unit_domain, small_uniform_points):
+        tree = ExactQuadtree(domain=unit_domain, height=0).fit(small_uniform_points)
+        assert tree.node_count() == 1
+        assert tree.root.is_leaf
+
+
+# ----------------------------------------------------------------------
+# Exact kd-tree
+# ----------------------------------------------------------------------
+class TestExactKDTree:
+    @pytest.fixture(scope="class")
+    def tree(self, unit_domain, small_uniform_points):
+        return ExactKDTree(domain=unit_domain, height=6).fit(small_uniform_points)
+
+    def test_complete_binary_structure(self, tree):
+        assert tree.node_count() == 2**7 - 1
+        assert len(tree.leaves()) == 2**6
+
+    def test_counts_consistent(self, tree):
+        for node in tree.nodes():
+            if not node.is_leaf:
+                assert node.count == sum(c.count for c in node.children)
+
+    def test_median_splits_are_balanced(self, tree):
+        """Exact-median splits put (nearly) half the points on each side."""
+        for node in tree.nodes():
+            if node.is_leaf or node.count < 4:
+                continue
+            left, right = node.children
+            assert abs(left.count - right.count) <= node.count * 0.5 + 2
+
+    def test_split_values_inside_node_rect(self, tree):
+        for node in tree.nodes():
+            if node.split_axis is None:
+                continue
+            assert node.rect.lo[node.split_axis] <= node.split_value <= node.rect.hi[node.split_axis]
+
+    def test_range_count_close_to_truth(self, tree, small_uniform_points):
+        query = Rect((0.2, 0.3), (0.8, 0.9))
+        assert tree.range_count(query) == pytest.approx(
+            brute_force_count(small_uniform_points, query), rel=0.1
+        )
+
+    def test_first_axis_validation(self, unit_domain):
+        with pytest.raises(ValueError):
+            ExactKDTree(domain=unit_domain, height=2, first_axis=5)
+
+
+# ----------------------------------------------------------------------
+# Exact Hilbert R-tree
+# ----------------------------------------------------------------------
+class TestExactHilbertRTree:
+    @pytest.fixture(scope="class")
+    def tree(self, unit_domain, small_uniform_points):
+        return ExactHilbertRTree(domain=unit_domain, height=8, order=8).fit(small_uniform_points)
+
+    def test_complete_structure_and_counts(self, tree, small_uniform_points):
+        assert tree.root.count == small_uniform_points.shape[0]
+        for node in tree.nodes():
+            if not node.is_leaf:
+                assert node.count == sum(c.count for c in node.children)
+
+    def test_bboxes_assigned_and_nested(self, tree):
+        for node in tree.nodes():
+            assert node.bbox is not None
+            for child in node.children:
+                # Children's index ranges are nested, so their boxes sit inside the domain.
+                assert tree.domain.rect.contains_rect(child.bbox)
+
+    def test_range_count_close_to_truth(self, tree, small_uniform_points):
+        query = Rect((0.2, 0.2), (0.7, 0.8))
+        truth = brute_force_count(small_uniform_points, query)
+        assert tree.range_count(query) == pytest.approx(truth, rel=0.2)
+
+    def test_full_domain_query_returns_everything(self, tree, small_uniform_points):
+        assert tree.range_count(tree.domain.rect) == pytest.approx(small_uniform_points.shape[0], rel=0.01)

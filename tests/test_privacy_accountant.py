@@ -1,0 +1,71 @@
+"""Tests for the privacy accountant (sequential composition along paths)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.privacy import PrivacyAccountant, PrivacyCharge
+
+
+class TestPrivacyCharge:
+    def test_valid_charge(self):
+        c = PrivacyCharge(epsilon=0.1, level=3, kind="median", delta=1e-5)
+        assert c.epsilon == 0.1 and c.level == 3 and c.kind == "median"
+
+    def test_rejects_negative_epsilon_or_delta(self):
+        with pytest.raises(ValueError):
+            PrivacyCharge(epsilon=-0.1, level=0)
+        with pytest.raises(ValueError):
+            PrivacyCharge(epsilon=0.1, level=0, delta=-1e-9)
+
+
+class TestPrivacyAccountant:
+    def test_requires_positive_budget(self):
+        with pytest.raises(ValueError):
+            PrivacyAccountant(total_budget=0.0)
+
+    def test_path_epsilon_sums_charges(self):
+        acc = PrivacyAccountant(total_budget=1.0)
+        acc.charge(0.2, level=2, kind="count")
+        acc.charge(0.3, level=1, kind="count")
+        acc.charge(0.5, level=0, kind="count")
+        assert acc.path_epsilon == pytest.approx(1.0)
+        acc.assert_within_budget()
+
+    def test_exceeding_budget_raises(self):
+        acc = PrivacyAccountant(total_budget=0.5)
+        acc.charge(0.4, level=1)
+        acc.charge(0.2, level=0)
+        with pytest.raises(ValueError, match="budget exceeded"):
+            acc.assert_within_budget()
+
+    def test_small_numerical_overshoot_tolerated(self):
+        acc = PrivacyAccountant(total_budget=1.0)
+        acc.charge(1.0 + 1e-12, level=0)
+        acc.assert_within_budget()
+
+    def test_per_level_and_per_kind_breakdown(self):
+        acc = PrivacyAccountant(total_budget=1.0)
+        acc.charge(0.1, level=2, kind="median")
+        acc.charge(0.2, level=2, kind="count")
+        acc.charge(0.3, level=0, kind="count")
+        assert acc.per_level == {2: pytest.approx(0.3), 0: pytest.approx(0.3)}
+        assert acc.per_kind == {"median": pytest.approx(0.1), "count": pytest.approx(0.5)}
+
+    def test_delta_accumulates(self):
+        acc = PrivacyAccountant(total_budget=1.0)
+        acc.charge(0.1, level=1, kind="median", delta=1e-4)
+        acc.charge(0.1, level=0, kind="median", delta=2e-4)
+        assert acc.path_delta == pytest.approx(3e-4)
+
+    def test_remaining(self):
+        acc = PrivacyAccountant(total_budget=1.0)
+        acc.charge(0.25, level=0)
+        assert acc.remaining() == pytest.approx(0.75)
+
+    def test_summary_sorted_root_first(self):
+        acc = PrivacyAccountant(total_budget=1.0)
+        acc.charge(0.1, level=0, kind="count")
+        acc.charge(0.2, level=3, kind="median")
+        rows = acc.summary()
+        assert rows[0][0] == 3 and rows[-1][0] == 0

@@ -1,0 +1,136 @@
+"""Tests for the basic DP mechanisms: Laplace, geometric, exponential."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.privacy import (
+    LaplaceCountMechanism,
+    exponential_mechanism,
+    geometric_mechanism,
+    laplace_mechanism,
+    laplace_noise,
+    laplace_variance,
+)
+
+
+class TestLaplaceNoise:
+    def test_zero_scale_is_exact(self):
+        assert laplace_noise(0.0) == 0.0
+        assert np.all(laplace_noise(0.0, size=5) == 0.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            laplace_noise(-1.0)
+
+    def test_statistics(self, rng):
+        draws = laplace_noise(2.0, size=200_000, rng=rng)
+        assert np.mean(draws) == pytest.approx(0.0, abs=0.05)
+        assert np.var(draws) == pytest.approx(2 * 2.0**2, rel=0.05)
+
+    def test_reproducible_with_seed(self):
+        a = laplace_noise(1.0, size=10, rng=42)
+        b = laplace_noise(1.0, size=10, rng=42)
+        assert np.array_equal(a, b)
+
+
+class TestLaplaceMechanism:
+    def test_scalar_and_array(self, rng):
+        out = laplace_mechanism(10.0, epsilon=1.0, rng=rng)
+        assert isinstance(out, float)
+        arr = laplace_mechanism(np.arange(5, dtype=float), epsilon=1.0, rng=rng)
+        assert arr.shape == (5,)
+
+    def test_rejects_bad_epsilon(self):
+        for eps in (0.0, -1.0, np.inf, np.nan):
+            with pytest.raises(ValueError):
+                laplace_mechanism(1.0, epsilon=eps)
+
+    def test_rejects_negative_sensitivity(self):
+        with pytest.raises(ValueError):
+            laplace_mechanism(1.0, epsilon=1.0, sensitivity=-1.0)
+
+    def test_unbiased(self, rng):
+        draws = np.array([laplace_mechanism(100.0, epsilon=0.5, rng=rng) for _ in range(5_000)])
+        assert np.mean(draws) == pytest.approx(100.0, abs=1.0)
+
+    def test_variance_matches_formula(self, rng):
+        eps, sens = 0.4, 2.0
+        draws = laplace_mechanism(np.zeros(100_000), epsilon=eps, sensitivity=sens, rng=rng)
+        assert np.var(draws) == pytest.approx(laplace_variance(eps, sens), rel=0.05)
+
+    def test_variance_formula(self):
+        # Var(Lap(1/eps)) = 2 / eps^2 for sensitivity-1 counts (Equation 1).
+        assert laplace_variance(0.5) == pytest.approx(2.0 / 0.25)
+        assert laplace_variance(1.0, sensitivity=3.0) == pytest.approx(2.0 * 9.0)
+
+    def test_smaller_epsilon_means_more_noise(self, rng):
+        tight = laplace_mechanism(np.zeros(50_000), epsilon=2.0, rng=rng)
+        loose = laplace_mechanism(np.zeros(50_000), epsilon=0.1, rng=rng)
+        assert np.std(loose) > 5 * np.std(tight)
+
+
+class TestGeometricMechanism:
+    def test_integer_valued_output(self, rng):
+        out = geometric_mechanism(np.full(1000, 7.0), epsilon=0.8, rng=rng)
+        assert np.allclose(out, np.round(out))
+
+    def test_unbiased(self, rng):
+        draws = geometric_mechanism(np.full(100_000, 50.0), epsilon=0.5, rng=rng)
+        assert np.mean(draws) == pytest.approx(50.0, abs=0.5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            geometric_mechanism(1.0, epsilon=0.0)
+        with pytest.raises(ValueError):
+            geometric_mechanism(1.0, epsilon=1.0, sensitivity=0.0)
+
+    def test_scalar_output(self, rng):
+        assert isinstance(geometric_mechanism(5.0, epsilon=1.0, rng=rng), float)
+
+
+class TestExponentialMechanism:
+    def test_prefers_high_scores(self, rng):
+        candidates = ["a", "b", "c"]
+        scores = [0.0, 0.0, 10.0]
+        picks = [exponential_mechanism(candidates, scores, epsilon=2.0, rng=rng) for _ in range(300)]
+        assert picks.count("c") > 250
+
+    def test_uniform_when_scores_equal(self, rng):
+        candidates = list(range(4))
+        picks = [exponential_mechanism(candidates, [1.0] * 4, epsilon=1.0, rng=rng) for _ in range(2_000)]
+        counts = np.bincount(picks, minlength=4)
+        assert np.all(counts > 350)
+
+    def test_rejects_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            exponential_mechanism(["a"], [1.0, 2.0], epsilon=1.0)
+        with pytest.raises(ValueError):
+            exponential_mechanism([], [], epsilon=1.0)
+
+    def test_rejects_bad_epsilon_and_sensitivity(self):
+        with pytest.raises(ValueError):
+            exponential_mechanism(["a"], [1.0], epsilon=0.0)
+        with pytest.raises(ValueError):
+            exponential_mechanism(["a"], [1.0], epsilon=1.0, sensitivity=0.0)
+
+    def test_numerically_stable_with_large_scores(self, rng):
+        out = exponential_mechanism([0, 1], [1e6, 1e6 + 1], epsilon=1.0, rng=rng)
+        assert out in (0, 1)
+
+
+class TestLaplaceCountMechanism:
+    def test_scale_and_variance(self):
+        mech = LaplaceCountMechanism(epsilon=0.5)
+        assert mech.scale == pytest.approx(2.0)
+        assert mech.variance == pytest.approx(8.0)
+
+    def test_release(self, rng):
+        mech = LaplaceCountMechanism(epsilon=1.0)
+        out = mech.release(np.array([1.0, 2.0, 3.0]), rng=rng)
+        assert out.shape == (3,)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            LaplaceCountMechanism(epsilon=-0.1)

@@ -1,0 +1,242 @@
+"""Tests for PSD serialisation, the workload-aware budget, and the CLI."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import (
+    WorkloadAwareBudget,
+    build_psd,
+    build_private_quadtree,
+    load_psd,
+    measure_level_usage,
+    psd_from_dict,
+    psd_to_dict,
+    save_psd,
+    workload_aware_quadtree_budget,
+)
+from repro.core.splits import QuadSplit
+from repro.data import uniform_points
+from repro.geometry import Domain, Rect
+
+
+@pytest.fixture(scope="module")
+def domain():
+    return Domain.unit(2)
+
+
+@pytest.fixture(scope="module")
+def released_psd(domain):
+    points = uniform_points(2_000, domain, rng=np.random.default_rng(61))
+    psd = build_private_quadtree(points, domain, height=3, epsilon=1.0, variant="quad-opt", rng=62)
+    return psd
+
+
+# ----------------------------------------------------------------------
+# Serialisation
+# ----------------------------------------------------------------------
+class TestSerialization:
+    def test_roundtrip_preserves_queries(self, released_psd):
+        payload = psd_to_dict(released_psd)
+        restored = psd_from_dict(payload)
+        for query in (Rect((0.1, 0.1), (0.6, 0.7)), Rect((0.0, 0.0), (1.0, 1.0))):
+            assert restored.range_query(query) == pytest.approx(released_psd.range_query(query))
+
+    def test_roundtrip_preserves_structure(self, released_psd):
+        restored = psd_from_dict(psd_to_dict(released_psd))
+        assert restored.height == released_psd.height
+        assert restored.fanout == released_psd.fanout
+        assert restored.node_count() == released_psd.node_count()
+        assert restored.count_epsilons == released_psd.count_epsilons
+
+    def test_payload_is_json_compatible_and_excludes_private_fields(self, released_psd):
+        payload = psd_to_dict(released_psd)
+        text = json.dumps(payload)
+        assert "_true_count" not in text
+        assert "true_count" not in text
+
+    def test_save_and_load_path(self, released_psd, tmp_path):
+        path = tmp_path / "release.json"
+        save_psd(released_psd, str(path))
+        restored = load_psd(str(path))
+        assert restored.node_count() == released_psd.node_count()
+
+    def test_save_and_load_file_object(self, released_psd):
+        buffer = io.StringIO()
+        save_psd(released_psd, buffer)
+        buffer.seek(0)
+        restored = load_psd(buffer)
+        assert restored.name == released_psd.name
+
+    def test_rejects_wrong_version(self, released_psd):
+        payload = psd_to_dict(released_psd)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            psd_from_dict(payload)
+
+    def test_rejects_child_outside_parent(self, released_psd):
+        payload = psd_to_dict(released_psd)
+        payload["root"]["children"][0]["lo"] = [5.0, 5.0]
+        payload["root"]["children"][0]["hi"] = [6.0, 6.0]
+        with pytest.raises(ValueError, match="contained"):
+            psd_from_dict(payload)
+
+    def test_rejects_bad_level(self, released_psd):
+        payload = psd_to_dict(released_psd)
+        payload["root"]["children"][0]["level"] = 7
+        with pytest.raises(ValueError, match="level"):
+            psd_from_dict(payload)
+
+    def test_rejects_root_domain_mismatch(self, released_psd):
+        payload = psd_to_dict(released_psd)
+        payload["domain"]["hi"] = [2.0, 2.0]
+        with pytest.raises(ValueError, match="domain"):
+            psd_from_dict(payload)
+
+    def test_pruned_tree_roundtrips(self, domain):
+        points = uniform_points(2_000, domain, rng=np.random.default_rng(63))
+        psd = build_private_quadtree(points, domain, height=3, epsilon=1.0, variant="quad-opt",
+                                     prune_threshold=300.0, rng=64)
+        restored = psd_from_dict(psd_to_dict(psd))
+        assert restored.node_count() == psd.node_count()
+
+
+# ----------------------------------------------------------------------
+# Workload-aware budgets
+# ----------------------------------------------------------------------
+class TestWorkloadAwareBudget:
+    def test_measure_level_usage(self, domain):
+        skeleton = build_psd(np.empty((0, 2)), domain, 3, QuadSplit(), epsilon=1.0,
+                             noiseless_counts=True, rng=0)
+        usage = measure_level_usage(skeleton, [Rect((0.0, 0.0), (0.5, 0.5))])
+        # The aligned quadrant query touches exactly one level-2 node.
+        assert usage[2] == pytest.approx(1.0)
+        assert usage[0] == pytest.approx(0.0)
+
+    def test_empty_workload_raises(self, domain):
+        skeleton = build_psd(np.empty((0, 2)), domain, 2, QuadSplit(), epsilon=1.0,
+                             noiseless_counts=True, rng=0)
+        with pytest.raises(ValueError):
+            measure_level_usage(skeleton, [])
+
+    def test_allocation_sums_and_favours_used_levels(self):
+        strategy = WorkloadAwareBudget(level_usage=((0, 64.0), (1, 8.0), (2, 1.0), (3, 0.0)))
+        eps = strategy.validate(3, 1.0)
+        assert sum(eps) == pytest.approx(1.0)
+        assert eps[0] > eps[1] > eps[2]
+        assert eps[3] > 0  # floor share keeps unused levels released
+
+    def test_uniform_usage_reduces_to_uniform(self):
+        strategy = WorkloadAwareBudget(level_usage=((0, 5.0), (1, 5.0), (2, 5.0)), floor_fraction=0.0)
+        eps = strategy.validate(2, 0.9)
+        assert all(e == pytest.approx(0.3) for e in eps)
+
+    def test_lemma2_usage_reduces_to_geometric(self):
+        """With the worst-case n_i = 8*2^{h-i}, the allocation matches Lemma 3's ratios."""
+        height = 5
+        usage = {i: 8.0 * 2 ** (height - i) for i in range(height + 1)}
+        strategy = WorkloadAwareBudget(level_usage=tuple(usage.items()), floor_fraction=0.0)
+        eps = strategy.validate(height, 1.0)
+        for i in range(height):
+            assert eps[i] / eps[i + 1] == pytest.approx(2 ** (1 / 3), rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadAwareBudget(level_usage=((0, -1.0),))
+        with pytest.raises(ValueError):
+            WorkloadAwareBudget(floor_fraction=1.5)
+
+    def test_from_workload_and_quadtree_helper(self, domain):
+        queries = [Rect((0.0, 0.0), (0.5, 0.5)), Rect((0.1, 0.1), (0.9, 0.9))]
+        strategy = workload_aware_quadtree_budget(domain, height=3, queries=queries)
+        eps = strategy.validate(3, 1.0)
+        assert sum(eps) == pytest.approx(1.0)
+        assert all(e > 0 for e in eps)
+
+    def test_workload_aware_budget_reduces_workload_variance(self, domain):
+        """On the measured workload, the tailored allocation beats the uniform one."""
+        from repro.analysis import empirical_error_for_strategy
+
+        points = uniform_points(2_000, domain, rng=np.random.default_rng(65))
+        queries = [Rect((0.0, 0.0), (0.5, 0.5)), Rect((0.25, 0.25), (0.75, 0.75)),
+                   Rect((0.0, 0.5), (0.5, 1.0))]
+        strategy = workload_aware_quadtree_budget(domain, height=4, queries=queries, floor_fraction=0.02)
+        psd = build_psd(points, domain, 4, QuadSplit(), epsilon=1.0, count_budget=strategy, rng=66)
+        tailored = empirical_error_for_strategy(psd, queries, strategy, 1.0)
+        uniform = empirical_error_for_strategy(psd, queries, "uniform", 1.0)
+        assert tailored < uniform
+
+    def test_integrates_with_builder_and_ols(self, domain):
+        points = uniform_points(1_000, domain, rng=np.random.default_rng(67))
+        strategy = WorkloadAwareBudget(level_usage=((0, 10.0), (1, 4.0), (2, 1.0)))
+        psd = build_psd(points, domain, 2, QuadSplit(), epsilon=0.8, count_budget=strategy,
+                        postprocess=True, rng=68)
+        assert psd.accountant.path_epsilon == pytest.approx(0.8)
+        assert all(n.post_count is not None for n in psd.nodes())
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCLI:
+    def test_build_and_query_roundtrip(self, tmp_path, capsys):
+        release = tmp_path / "release.json"
+        rc = main([
+            "build", "--synthetic", "3000", "--variant", "quad-opt", "--epsilon", "1.0",
+            "--height", "4", "--seed", "3", "--output", str(release),
+        ])
+        assert rc == 0
+        assert release.exists()
+        rc = main(["query", str(release), "--rect=-123,45,-120,48"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "-123,45,-120,48" in out
+
+    def test_build_from_csv_with_auto_domain(self, tmp_path):
+        csv_path = tmp_path / "points.csv"
+        rng = np.random.default_rng(5)
+        pts = rng.random((500, 2))
+        csv_path.write_text("\n".join(f"{x},{y}" for x, y in pts))
+        release = tmp_path / "out.json"
+        rc = main(["build", "--input", str(csv_path), "--domain", "auto", "--variant", "kd-hybrid",
+                   "--height", "3", "--epsilon", "1.0", "--output", str(release)])
+        assert rc == 0
+        psd = load_psd(str(release))
+        assert psd.height == 3
+
+    def test_build_requires_input_or_synthetic(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["build", "--output", str(tmp_path / "x.json")])
+
+    def test_unknown_variant_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["build", "--synthetic", "100", "--variant", "rtree*", "--output", str(tmp_path / "x.json")])
+
+    def test_query_rejects_malformed_rect(self, tmp_path):
+        release = tmp_path / "release.json"
+        main(["build", "--synthetic", "500", "--height", "2", "--output", str(release)])
+        with pytest.raises(SystemExit):
+            main(["query", str(release), "--rect", "1,2,3"])
+
+    def test_experiment_subcommand(self, capsys):
+        rc = main(["experiment", "fig2"])
+        assert rc == 0
+        assert "err_uniform" in capsys.readouterr().out
+
+    def test_experiment_fig3_small(self, capsys):
+        rc = main(["experiment", "fig3", "--n-points", "2000", "--n-queries", "5",
+                   "--quad-height", "4", "--epsilons", "1.0"])
+        assert rc == 0
+        assert "quad-opt" in capsys.readouterr().out
+
+    def test_parser_structure(self):
+        parser = build_parser()
+        args = parser.parse_args(["build", "--synthetic", "10", "--output", "x.json"])
+        assert args.command == "build"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["experiment", "fig99"])
