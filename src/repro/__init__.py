@@ -12,6 +12,8 @@ The package is organised as:
 * :mod:`repro.queries` — range-query workloads and accuracy metrics;
 * :mod:`repro.core` — the paper's contribution: private spatial
   decompositions, budget strategies, OLS post-processing, pruning;
+* :mod:`repro.engine` — the compiled flat-array query engine for serving
+  released PSDs (vectorised batch queries, LRU caching, ``.npz`` shipping);
 * :mod:`repro.analysis` — the analytical error bounds of Section 4;
 * :mod:`repro.applications` — the private record-matching application;
 * :mod:`repro.experiments` — runners reproducing every figure of Section 8.
@@ -38,6 +40,7 @@ from .core import (
     build_psd,
 )
 from .data import TIGER_DOMAIN, road_intersections
+from .engine import CachedEngine, FlatPSD, batch_range_query, compile_psd
 from .geometry import Domain, Rect
 from .queries import PAPER_QUERY_SHAPES, QueryShape, generate_workload
 
@@ -60,4 +63,8 @@ __all__ = [
     "QueryShape",
     "generate_workload",
     "PAPER_QUERY_SHAPES",
+    "FlatPSD",
+    "compile_psd",
+    "batch_range_query",
+    "CachedEngine",
 ]

@@ -1,12 +1,16 @@
 """Command-line interface for building, querying and benchmarking PSDs.
 
-Three sub-commands cover the life-cycle of a private release:
+Four sub-commands cover the life-cycle of a private release:
 
 * ``build``  — read a point dataset (``.npy`` or CSV with one point per row,
   or the built-in synthetic road data), build a chosen PSD variant under a
   privacy budget, and write the released structure to a JSON file;
-* ``query``  — load a released JSON structure and answer one or more
-  rectangular range queries from it (no access to the original data needed);
+* ``compile`` — compile a released JSON structure into a flat array engine
+  (``.npz``) optimised for high-throughput query serving;
+* ``query``  — load a released structure (JSON, or a compiled ``.npz``
+  engine) and answer rectangular range queries from it — one-off via
+  ``--rect`` or in bulk via ``--queries-file``; ``--engine flat`` serves from
+  the compiled backend (no access to the original data needed either way);
 * ``experiment`` — run one of the paper-figure experiments at a chosen scale
   and print its series, the same code path the benchmark suite uses.
 
@@ -16,7 +20,9 @@ Examples
 
     python -m repro.cli build --synthetic 100000 --variant quad-opt \
         --epsilon 0.5 --height 8 --output release.json
+    python -m repro.cli compile release.json --output engine.npz
     python -m repro.cli query release.json --rect=-123,46,-121,48
+    python -m repro.cli query engine.npz --queries-file workload.txt
     python -m repro.cli experiment fig3 --epsilons 0.5 --n-points 20000
 """
 
@@ -38,7 +44,9 @@ from .core import (
 )
 from .core.kdtree import KDTREE_VARIANTS
 from .core.quadtree import QUADTREE_VARIANTS
+from .core.query import QUERY_BACKENDS
 from .data import road_intersections
+from .engine import batch_range_query, compile_psd, load_engine, save_engine
 from .experiments import (
     ExperimentScale,
     format_table,
@@ -88,10 +96,17 @@ def _resolve_domain(args, points: np.ndarray) -> Domain:
 
 
 def _parse_rect(spec: str, dims: int) -> Rect:
-    values = [float(v) for v in spec.split(",")]
+    try:
+        values = [float(v) for v in spec.split(",")]
+    except ValueError:
+        raise SystemExit(f"malformed query rectangle {spec!r}: values must be numbers")
     if len(values) != 2 * dims:
-        raise SystemExit(f"--rect needs {2 * dims} comma-separated numbers (lo..., hi...)")
-    return Rect(tuple(values[:dims]), tuple(values[dims:]))
+        raise SystemExit(f"query rectangle {spec!r} needs {2 * dims} "
+                         "comma-separated numbers (lo..., hi...)")
+    try:
+        return Rect(tuple(values[:dims]), tuple(values[dims:]))
+    except ValueError as exc:
+        raise SystemExit(f"malformed query rectangle {spec!r}: {exc}")
 
 
 # ----------------------------------------------------------------------
@@ -120,12 +135,56 @@ def _cmd_build(args) -> int:
     return 0
 
 
-def _cmd_query(args) -> int:
+def _read_queries_file(path: str) -> List[str]:
+    """One rect spec per line (``lo1,lo2,...,hi1,hi2,...``); '#' comments and
+    blank lines are skipped."""
+    specs: List[str] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line and not line.startswith("#"):
+                    specs.append(line)
+    except OSError as exc:
+        raise SystemExit(f"cannot read --queries-file: {exc}")
+    return specs
+
+
+def _cmd_compile(args) -> int:
     psd = load_psd(args.release)
-    dims = psd.domain.dims
-    for spec in args.rect:
-        rect = _parse_rect(spec, dims)
-        print(f"{spec}\t{psd.range_query(rect):.2f}")
+    engine = compile_psd(psd)
+    # `repro query` dispatches on the '.npz' suffix, so make sure the artifact
+    # carries it regardless of what the user typed.
+    output = args.output if args.output.endswith(".npz") else args.output + ".npz"
+    save_engine(engine, output)
+    print(f"compiled {engine.name}: {engine.n_nodes} nodes, "
+          f"{engine.nbytes() / 1024:.1f} KiB of arrays, written to {output}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    specs = list(args.rect or [])
+    if args.queries_file:
+        specs.extend(_read_queries_file(args.queries_file))
+    if not specs:
+        raise SystemExit("provide at least one query via --rect or --queries-file")
+
+    if args.release.endswith(".npz"):
+        try:
+            engine = load_engine(args.release)
+        except Exception as exc:
+            raise SystemExit(f"cannot load compiled engine {args.release!r}: {exc}")
+        rects = [_parse_rect(spec, engine.dims) for spec in specs]
+        answers = batch_range_query(engine, rects)
+    else:
+        psd = load_psd(args.release)
+        rects = [_parse_rect(spec, psd.domain.dims) for spec in specs]
+        if args.engine == "flat":
+            answers = batch_range_query(psd.compile(), rects)
+        else:
+            answers = [psd.range_query(rect) for rect in rects]
+    for spec, answer in zip(specs, answers):
+        print(f"{spec}\t{answer:.2f}")
     return 0
 
 
@@ -190,10 +249,21 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--output", required=True, help="path of the released JSON file")
     build.set_defaults(func=_cmd_build)
 
-    query = sub.add_parser("query", help="answer range queries from a released JSON structure")
-    query.add_argument("release", help="path of the released JSON file")
-    query.add_argument("--rect", action="append", required=True,
+    compile_ = sub.add_parser("compile",
+                              help="compile a released JSON structure into a flat .npz engine")
+    compile_.add_argument("release", help="path of the released JSON file")
+    compile_.add_argument("--output", required=True, help="path of the compiled .npz engine")
+    compile_.set_defaults(func=_cmd_compile)
+
+    query = sub.add_parser("query",
+                           help="answer range queries from a released JSON structure or compiled .npz engine")
+    query.add_argument("release", help="path of the released JSON file (or a compiled .npz engine)")
+    query.add_argument("--rect", action="append", default=None,
                        help="query rectangle as lo1,lo2,...,hi1,hi2,... (repeatable)")
+    query.add_argument("--queries-file", default=None,
+                       help="batch mode: file with one rect spec per line ('#' comments allowed)")
+    query.add_argument("--engine", choices=QUERY_BACKENDS, default="recursive",
+                       help="query backend for JSON releases (.npz input always uses flat)")
     query.set_defaults(func=_cmd_query)
 
     experiment = sub.add_parser("experiment", help="run one of the paper-figure experiments")

@@ -22,6 +22,7 @@ from .postprocess import apply_ols, check_consistency, ols_estimate_tree
 from .pruning import count_pruned_nodes, prune_low_count_subtrees
 from .quadtree import QUADTREE_VARIANTS, QuadtreeConfig, build_private_quadtree
 from .query import (
+    QUERY_BACKENDS,
     contributing_nodes,
     nodes_touched,
     nodes_touched_per_level,
@@ -71,6 +72,7 @@ __all__ = [
     "prune_low_count_subtrees",
     "count_pruned_nodes",
     "range_query",
+    "QUERY_BACKENDS",
     "nodes_touched",
     "nodes_touched_per_level",
     "query_variance",

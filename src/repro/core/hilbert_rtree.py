@@ -113,6 +113,17 @@ class PrivateHilbertRTree:
         self.psd.prune(threshold)
         return self
 
+    def compile(self):
+        """The memoised planar flat engine over the node bounding boxes.
+
+        The compiled engine answers planar queries with the same semantics as
+        :meth:`range_query`; it is rebuilt automatically after the 1-D tree is
+        post-processed or pruned (through these wrappers or directly).
+        """
+        from ..engine.flat import compiled_planar_engine
+
+        return compiled_planar_engine(self)
+
     # ------------------------------------------------------------------
     def node_bbox(self, node) -> Rect:
         """Planar bounding box of a node's Hilbert-index interval (cached).
@@ -133,7 +144,7 @@ class PrivateHilbertRTree:
         self._bbox_cache[key] = bbox
         return bbox
 
-    def range_query(self, query: Rect) -> float:
+    def range_query(self, query: Rect, backend: str = "recursive") -> float:
         """Estimated number of points inside a planar query rectangle.
 
         R-tree-style canonical decomposition over the node bounding boxes: a
@@ -141,18 +152,22 @@ class PrivateHilbertRTree:
         count; boxes that merely intersect are descended into; partially
         covered leaves contribute under a uniformity assumption proportional
         to the overlapped fraction of their box.
+
+        ``backend="flat"`` serves the answer from the compiled planar engine
+        (see :meth:`compile`).
         """
+        from .query import _check_backend, _has_released_count
+
+        if _check_backend(backend) == "flat":
+            return self.compile().range_query(query)
         total = 0.0
         stack = [self.psd.root]
-        eps = self.psd.count_epsilons
         while stack:
             node = stack.pop()
             bbox = self.node_bbox(node)
             if not bbox.intersects(query):
                 continue
-            has_count = node.post_count is not None or (
-                eps[node.level] > 0 and np.isfinite(node.noisy_count)
-            )
+            has_count = _has_released_count(self.psd, node)
             if query.contains_rect(bbox) and has_count:
                 total += node.released_count
                 continue

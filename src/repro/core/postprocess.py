@@ -43,8 +43,12 @@ def apply_ols(psd: PrivateSpatialDecomposition) -> PrivateSpatialDecomposition:
     children and all leaves are at level 0) and a strictly positive leaf count
     parameter ``eps_0`` (otherwise the estimator is under-determined).
     """
+    from ..engine.flat import invalidate_compiled_engine
+
     if not psd.is_complete():
         raise ValueError("OLS post-processing requires a complete tree; apply it before pruning")
+    # The released counts are about to change: any memoised flat engine is stale.
+    invalidate_compiled_engine(psd)
     weights = _level_weights(psd.count_epsilons)
     if weights[0] <= 0:
         raise ValueError("OLS post-processing requires a positive leaf budget (eps_0 > 0)")

@@ -24,8 +24,12 @@ def prune_low_count_subtrees(psd: PrivateSpatialDecomposition, threshold: float)
     the paper's "cut off the tree at this point".  Nodes that never released a
     count (zero budget at their level) are never used as cut points.
     """
+    from ..engine.flat import invalidate_compiled_engine
+
     if threshold < 0:
         raise ValueError("threshold must be non-negative")
+    # The tree structure is about to change: any memoised flat engine is stale.
+    invalidate_compiled_engine(psd)
     removed = 0
     stack = [psd.root]
     while stack:

@@ -14,6 +14,14 @@ instead".
 
 The same traversal also yields ``n(Q)`` (the number of counts summed, bounded
 by Lemma 2) and the analytic query variance ``Err(Q)`` of Equation (1).
+
+Two interchangeable backends implement the traversal.  ``"recursive"`` (the
+default) walks the :class:`PSDNode` pointer tree and is the semantic
+reference.  ``"flat"`` dispatches to :mod:`repro.engine`: the tree is
+compiled once into a structure-of-arrays form (memoised on the PSD, dropped
+automatically when post-processing or pruning mutates the counts) and queries
+are answered by the vectorised evaluator — same answers, much faster when the
+tree is queried repeatedly.
 """
 
 from __future__ import annotations
@@ -32,7 +40,23 @@ __all__ = [
     "nodes_touched_per_level",
     "query_variance",
     "contributing_nodes",
+    "QUERY_BACKENDS",
 ]
+
+#: The names accepted by the ``backend=`` parameter of the query functions.
+QUERY_BACKENDS = ("recursive", "flat")
+
+
+def _flat_engine(psd: PrivateSpatialDecomposition):
+    from ..engine.flat import compiled_engine
+
+    return compiled_engine(psd)
+
+
+def _check_backend(backend: str) -> str:
+    if backend not in QUERY_BACKENDS:
+        raise ValueError(f"unknown query backend {backend!r}; expected one of {QUERY_BACKENDS}")
+    return backend
 
 
 def _has_released_count(psd: PrivateSpatialDecomposition, node: PSDNode) -> bool:
@@ -76,8 +100,15 @@ def contributing_nodes(
     return full, partial
 
 
-def range_query(psd: PrivateSpatialDecomposition, query: Rect, use_uniformity: bool = True) -> float:
+def range_query(
+    psd: PrivateSpatialDecomposition,
+    query: Rect,
+    use_uniformity: bool = True,
+    backend: str = "recursive",
+) -> float:
     """Estimated number of points of the private dataset falling inside ``query``."""
+    if _check_backend(backend) == "flat":
+        return _flat_engine(psd).range_query(query, use_uniformity=use_uniformity)
     full, partial = contributing_nodes(psd, query)
     total = sum(node.released_count for node in full)
     if use_uniformity:
@@ -85,8 +116,10 @@ def range_query(psd: PrivateSpatialDecomposition, query: Rect, use_uniformity: b
     return float(total)
 
 
-def nodes_touched(psd: PrivateSpatialDecomposition, query: Rect) -> int:
+def nodes_touched(psd: PrivateSpatialDecomposition, query: Rect, backend: str = "recursive") -> int:
     """``n(Q)``: how many released counts are summed to answer ``query``."""
+    if _check_backend(backend) == "flat":
+        return _flat_engine(psd).nodes_touched(query)
     full, partial = contributing_nodes(psd, query)
     return len(full) + len(partial)
 
@@ -102,7 +135,7 @@ def nodes_touched_per_level(psd: PrivateSpatialDecomposition, query: Rect) -> di
     return counts
 
 
-def query_variance(psd: PrivateSpatialDecomposition, query: Rect) -> float:
+def query_variance(psd: PrivateSpatialDecomposition, query: Rect, backend: str = "recursive") -> float:
     """The analytic error measure ``Err(Q) = sum over touched nodes of Var``.
 
     Partial leaves contribute ``fraction^2 * Var`` since their count is scaled
@@ -110,6 +143,8 @@ def query_variance(psd: PrivateSpatialDecomposition, query: Rect) -> float:
     measure is exact only for raw noisy counts; it is the quantity analysed in
     Section 4 and used for the budget-strategy comparison.
     """
+    if _check_backend(backend) == "flat":
+        return _flat_engine(psd).query_variance(query)
     full, partial = contributing_nodes(psd, query)
     total = 0.0
     for node in full:

@@ -165,23 +165,33 @@ class PrivateSpatialDecomposition:
     # ------------------------------------------------------------------
     # Query answering (delegates to repro.core.query)
     # ------------------------------------------------------------------
-    def range_query(self, query: Rect, use_uniformity: bool = True) -> float:
-        """Estimated number of data points inside ``query`` (Section 4.1)."""
+    def range_query(self, query: Rect, use_uniformity: bool = True, backend: str = "recursive") -> float:
+        """Estimated number of data points inside ``query`` (Section 4.1).
+
+        ``backend="flat"`` answers from the compiled array engine
+        (:mod:`repro.engine`), compiling and memoising it on first use.
+        """
         from .query import range_query as _range_query
 
-        return _range_query(self, query, use_uniformity=use_uniformity)
+        return _range_query(self, query, use_uniformity=use_uniformity, backend=backend)
 
-    def nodes_touched(self, query: Rect) -> int:
+    def nodes_touched(self, query: Rect, backend: str = "recursive") -> int:
         """Number of node counts summed when answering ``query`` (``n(Q)``)."""
         from .query import nodes_touched as _nodes_touched
 
-        return _nodes_touched(self, query)
+        return _nodes_touched(self, query, backend=backend)
 
-    def query_variance(self, query: Rect) -> float:
+    def query_variance(self, query: Rect, backend: str = "recursive") -> float:
         """The analytic error measure ``Err(Q)`` = sum of touched node variances."""
         from .query import query_variance as _query_variance
 
-        return _query_variance(self, query)
+        return _query_variance(self, query, backend=backend)
+
+    def compile(self):
+        """The memoised flat array engine for this tree (see :mod:`repro.engine`)."""
+        from ..engine.flat import compiled_engine
+
+        return compiled_engine(self)
 
     # ------------------------------------------------------------------
     # Post-processing and pruning (released-data transformations)

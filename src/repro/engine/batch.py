@@ -1,0 +1,225 @@
+"""Vectorised batch evaluation of range queries over a compiled PSD.
+
+The evaluator answers ``Q`` queries in one pass of **level-synchronous
+frontier expansion**.  The state is a pair of parallel index arrays
+``(q_idx, n_idx)`` — every element is one "query q is examining node n"
+obligation, exactly the stack entries of the recursive reference in
+:mod:`repro.core.query`, but held all at once.  Each wavefront:
+
+1. drops pairs whose node does not intersect the query (half-open box test);
+2. credits *full* nodes (node rect contained in the query, released count
+   present) to their query's accumulator and retires them;
+3. credits intersecting *partial leaves* with the uniformity fraction
+   ``overlap_area / node_area``;
+4. expands every remaining pair into ``(q, child)`` pairs via the contiguous
+   BFS child ranges — a single ``np.repeat``, no Python per node.
+
+Because children sit one level below their parents, the loop runs at most
+``height + 1`` iterations regardless of how many queries are in flight.  The
+same pass accumulates the estimate, ``n(Q)`` (number of counts summed,
+partial leaves included, matching :func:`repro.core.query.nodes_touched`) and
+the analytic variance ``Err(Q)`` of Equation (1) — partial leaves contribute
+``fraction^2 * Var`` like the reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..geometry.rect import Rect
+from .flat import FlatPSD, expand_ranges
+
+__all__ = [
+    "BatchQueryResult",
+    "batch_query",
+    "batch_range_query",
+    "batch_nodes_touched",
+    "queries_to_arrays",
+]
+
+QueryInput = Union[Rect, Sequence[float], np.ndarray]
+
+
+@dataclass(frozen=True)
+class BatchQueryResult:
+    """Per-query outputs of one batch evaluation.
+
+    Attributes
+    ----------
+    estimates:
+        ``(Q,)`` estimated counts (the canonical-decomposition answers).
+    nodes_touched:
+        ``(Q,)`` the ``n(Q)`` of each query — how many released counts were
+        summed (full nodes plus partial leaves).
+    variances:
+        ``(Q,)`` the analytic ``Err(Q)`` of each query (Equation 1).
+    """
+
+    estimates: np.ndarray
+    nodes_touched: np.ndarray
+    variances: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.estimates.shape[0])
+
+
+def queries_to_arrays(
+    queries: Union[Iterable[QueryInput], np.ndarray], dims: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalise a query collection into ``(Q, dims)`` lo / hi arrays.
+
+    Accepts a list of :class:`~repro.geometry.rect.Rect`, a list of flat
+    ``(lo..., hi...)`` coordinate rows, or an already-stacked ``(Q, 2 * dims)``
+    array.
+    """
+    if isinstance(queries, np.ndarray) and queries.ndim == 2:
+        if queries.shape[1] != 2 * dims:
+            raise ValueError(f"query array needs {2 * dims} columns (lo..., hi...)")
+        arr = np.asarray(queries, dtype=np.float64)
+        return _checked(np.ascontiguousarray(arr[:, :dims]), np.ascontiguousarray(arr[:, dims:]))
+
+    lo_rows = []
+    hi_rows = []
+    for query in queries:
+        if isinstance(query, Rect):
+            if query.dims != dims:
+                raise ValueError(f"query has {query.dims} dims, engine has {dims}")
+            lo_rows.append(query.lo)
+            hi_rows.append(query.hi)
+        else:
+            row = np.asarray(query, dtype=np.float64).ravel()
+            if row.shape[0] != 2 * dims:
+                raise ValueError(f"query row needs {2 * dims} values (lo..., hi...)")
+            lo_rows.append(row[:dims])
+            hi_rows.append(row[dims:])
+    if not lo_rows:
+        return np.empty((0, dims)), np.empty((0, dims))
+    return _checked(np.asarray(lo_rows, dtype=np.float64), np.asarray(hi_rows, dtype=np.float64))
+
+
+def _checked(qlo: np.ndarray, qhi: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Reject inverted or non-finite boxes; Rect enforces both at construction,
+    so raw coordinate rows must too (two negative extents would otherwise
+    multiply into a positive overlap, and NaN bounds would silently answer 0)."""
+    finite = np.isfinite(qlo) & np.isfinite(qhi)
+    bad_rows = np.any((qlo > qhi) | ~finite, axis=1)
+    if np.any(bad_rows):
+        bad = int(np.nonzero(bad_rows)[0][0])
+        raise ValueError(f"query {bad}: bounds must be finite with lo <= hi")
+    return qlo, qhi
+
+
+def _expand_children(
+    q_idx: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Turn (query, node) pairs into (query, child) pairs for all children."""
+    return np.repeat(q_idx, ends - starts), expand_ranges(starts, ends)
+
+
+def batch_query(
+    engine: FlatPSD,
+    queries: Union[Iterable[QueryInput], np.ndarray],
+    use_uniformity: bool = True,
+) -> BatchQueryResult:
+    """Answer a batch of range queries in one vectorised pass.
+
+    Semantics are identical to the recursive reference: for each query the
+    estimate equals :func:`repro.core.query.range_query`, ``nodes_touched``
+    equals :func:`repro.core.query.nodes_touched` and ``variances`` equals
+    :func:`repro.core.query.query_variance` (estimates up to float summation
+    order).  ``use_uniformity=False`` drops the partial-leaf contribution from
+    the *estimate* only, exactly like the reference.
+    """
+    qlo, qhi = queries_to_arrays(queries, engine.dims)
+    n_queries = qlo.shape[0]
+    estimates = np.zeros(n_queries, dtype=np.float64)
+    touched = np.zeros(n_queries, dtype=np.int64)
+    variances = np.zeros(n_queries, dtype=np.float64)
+    if n_queries == 0 or engine.n_nodes == 0:
+        return BatchQueryResult(estimates, touched, variances)
+
+    # Wavefront: query q is examining node n, starting with every query at root.
+    q_idx = np.arange(n_queries, dtype=np.int64)
+    n_idx = np.zeros(n_queries, dtype=np.int64)
+
+    while q_idx.size:
+        node_lo = engine.lo[n_idx]
+        node_hi = engine.hi[n_idx]
+        cur_qlo = qlo[q_idx]
+        cur_qhi = qhi[q_idx]
+
+        intersects = np.all((node_hi > cur_qlo) & (cur_qhi > node_lo), axis=1)
+        if not intersects.all():
+            q_idx = q_idx[intersects]
+            n_idx = n_idx[intersects]
+            node_lo = node_lo[intersects]
+            node_hi = node_hi[intersects]
+            cur_qlo = cur_qlo[intersects]
+            cur_qhi = cur_qhi[intersects]
+            if not q_idx.size:
+                break
+
+        contained = np.all((node_lo >= cur_qlo) & (node_hi <= cur_qhi), axis=1)
+        has_count = engine.has_count[n_idx]
+        leaf = engine.is_leaf[n_idx]
+
+        full = contained & has_count
+        if full.any():
+            fq = q_idx[full]
+            fn = n_idx[full]
+            estimates += np.bincount(fq, weights=engine.released[fn], minlength=n_queries)
+            touched += np.bincount(fq, minlength=n_queries)
+            variances += np.bincount(
+                fq, weights=engine.level_variance[engine.level[fn]], minlength=n_queries
+            )
+
+        partial = leaf & has_count & ~contained
+        if partial.any():
+            pn = n_idx[partial]
+            node_area = engine.area[pn]
+            overlap = np.prod(
+                np.minimum(node_hi[partial], cur_qhi[partial])
+                - np.maximum(node_lo[partial], cur_qlo[partial]),
+                axis=1,
+            )
+            ok = (node_area > 0) & (overlap > 0)
+            if ok.any():
+                pq = q_idx[partial][ok]
+                pn = pn[ok]
+                fraction = overlap[ok] / node_area[ok]
+                if use_uniformity:
+                    estimates += np.bincount(
+                        pq, weights=engine.released[pn] * fraction, minlength=n_queries
+                    )
+                touched += np.bincount(pq, minlength=n_queries)
+                variances += np.bincount(
+                    pq,
+                    weights=fraction * fraction * engine.level_variance[engine.level[pn]],
+                    minlength=n_queries,
+                )
+
+        descend = ~full & ~leaf
+        q_idx, n_idx = _expand_children(
+            q_idx[descend], engine.child_start[n_idx[descend]], engine.child_end[n_idx[descend]]
+        )
+
+    return BatchQueryResult(estimates, touched, variances)
+
+
+def batch_range_query(
+    engine: FlatPSD,
+    queries: Union[Iterable[QueryInput], np.ndarray],
+    use_uniformity: bool = True,
+) -> np.ndarray:
+    """The ``(Q,)`` estimated counts for a batch of queries."""
+    return batch_query(engine, queries, use_uniformity=use_uniformity).estimates
+
+
+def batch_nodes_touched(
+    engine: FlatPSD, queries: Union[Iterable[QueryInput], np.ndarray]
+) -> np.ndarray:
+    """The ``(Q,)`` per-query ``n(Q)`` values."""
+    return batch_query(engine, queries).nodes_touched

@@ -1,0 +1,228 @@
+"""LRU answer caching for a compiled PSD engine.
+
+A released PSD never changes, so every distinct query rectangle has one fixed
+answer — ideal conditions for caching.  Serving workloads are also heavily
+skewed (dashboards refresh the same regions, popular map tiles repeat), so an
+LRU over canonicalised query rects turns the common case into a dictionary
+hit.
+
+Keys are produced by :func:`canonical_rect_key`: coordinates are rounded to a
+fixed number of significant decimal digits so queries that differ only by
+float formatting noise (e.g. a rect that went through JSON) share an entry,
+while genuinely different rects collide with negligible probability at the
+default 12 digits.
+
+:class:`CachedEngine` wraps a :class:`~repro.engine.flat.FlatPSD` with the
+same query surface (``range_query`` / ``nodes_touched`` / ``query_variance``
+/ ``batch_query``).  All three scalar quantities are cached together, so a
+``range_query`` hit also pre-warms ``query_variance`` for the same rect.  The
+batch path is cache-aware: hits are served from the store and only the misses
+go through one vectorised evaluation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple, Union
+
+import numpy as np
+
+from ..geometry.rect import Rect
+from .batch import BatchQueryResult, QueryInput, batch_query, queries_to_arrays
+from .flat import FlatPSD
+
+__all__ = ["canonical_rect_key", "QueryCache", "CachedEngine"]
+
+#: One cached answer: (estimate, n(Q), Err(Q)).
+CacheEntry = Tuple[float, int, float]
+
+
+def canonical_rect_key(lo, hi, ndigits: int = 12) -> Tuple[float, ...]:
+    """A hashable canonical form of a query rectangle.
+
+    Rounds every coordinate to ``ndigits`` significant decimal digits (via the
+    ``float('%.*g')`` round-trip) so representation noise does not fragment
+    the cache, and concatenates ``lo`` then ``hi`` into one flat tuple.
+    """
+    values = [float(v) for v in lo] + [float(v) for v in hi]
+    return tuple(float(f"{v:.{ndigits}g}") for v in values)
+
+
+class QueryCache:
+    """A bounded LRU mapping canonical query keys to cached answers."""
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self.maxsize = int(maxsize)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._store: "OrderedDict[Tuple[float, ...], CacheEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: Tuple[float, ...]) -> "CacheEntry | None":
+        entry = self._store.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Tuple[float, ...], entry: CacheEntry) -> None:
+        if key in self._store:
+            self._store.move_to_end(key)
+        self._store[key] = entry
+        if len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus the current size."""
+        return {
+            "size": len(self._store),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class _Normalised:
+    lo: np.ndarray
+    hi: np.ndarray
+    keys: List[Tuple[float, ...]]
+
+
+class CachedEngine:
+    """A :class:`FlatPSD` wrapped with an LRU answer cache.
+
+    Parameters
+    ----------
+    engine:
+        The compiled engine to serve from.
+    maxsize:
+        Cache capacity in distinct query rectangles.
+    ndigits:
+        Significant digits used by the canonical key (see
+        :func:`canonical_rect_key`).
+
+    Notes
+    -----
+    Only the ``use_uniformity=True`` answers are cached (the serving default);
+    calls with ``use_uniformity=False`` bypass the cache entirely rather than
+    double the key space.
+    """
+
+    def __init__(self, engine: FlatPSD, maxsize: int = 4096, ndigits: int = 12) -> None:
+        self.engine = engine
+        self.ndigits = int(ndigits)
+        self.cache = QueryCache(maxsize=maxsize)
+
+    # ------------------------------------------------------------------
+    def _normalise(self, queries: Union[Iterable[QueryInput], np.ndarray]) -> _Normalised:
+        qlo, qhi = queries_to_arrays(queries, self.engine.dims)
+        keys = [
+            canonical_rect_key(qlo[i], qhi[i], ndigits=self.ndigits)
+            for i in range(qlo.shape[0])
+        ]
+        return _Normalised(qlo, qhi, keys)
+
+    def _lookup_one(self, query: QueryInput) -> CacheEntry:
+        norm = self._normalise([query])
+        key = norm.keys[0]
+        entry = self.cache.get(key)
+        if entry is None:
+            result = batch_query(self.engine, np.hstack([norm.lo, norm.hi]))
+            entry = (
+                float(result.estimates[0]),
+                int(result.nodes_touched[0]),
+                float(result.variances[0]),
+            )
+            self.cache.put(key, entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Single-query surface (mirrors PrivateSpatialDecomposition / FlatPSD)
+    # ------------------------------------------------------------------
+    def range_query(self, query: QueryInput, use_uniformity: bool = True) -> float:
+        """Cached estimate for one query rectangle."""
+        if not use_uniformity:
+            return self.engine.range_query(query, use_uniformity=False)
+        return self._lookup_one(query)[0]
+
+    def nodes_touched(self, query: QueryInput) -> int:
+        """Cached ``n(Q)`` for one query rectangle."""
+        return self._lookup_one(query)[1]
+
+    def query_variance(self, query: QueryInput) -> float:
+        """Cached ``Err(Q)`` for one query rectangle."""
+        return self._lookup_one(query)[2]
+
+    # ------------------------------------------------------------------
+    def batch_query(
+        self, queries: Union[Iterable[QueryInput], np.ndarray], use_uniformity: bool = True
+    ) -> BatchQueryResult:
+        """Batch evaluation that serves hits from the cache.
+
+        Misses are evaluated together in one vectorised pass and inserted; the
+        returned arrays are in the input query order.
+        """
+        if not use_uniformity:
+            return batch_query(self.engine, queries, use_uniformity=False)
+        norm = self._normalise(queries)
+        n_queries = norm.lo.shape[0]
+        estimates = np.zeros(n_queries, dtype=np.float64)
+        touched = np.zeros(n_queries, dtype=np.int64)
+        variances = np.zeros(n_queries, dtype=np.float64)
+
+        miss_positions: List[int] = []
+        # A batch can repeat a rect: make the second occurrence wait for the
+        # first instead of evaluating it twice.
+        pending: Dict[Tuple[float, ...], List[int]] = {}
+        for i, key in enumerate(norm.keys):
+            if key in pending:
+                # Coalesced onto an earlier miss in this batch: one evaluation
+                # serves all occurrences, so only the first counts as a miss.
+                pending[key].append(i)
+                continue
+            entry = self.cache.get(key)
+            if entry is not None:
+                estimates[i], touched[i], variances[i] = entry
+            else:
+                pending[key] = [i]
+                miss_positions.append(i)
+
+        if miss_positions:
+            miss = np.asarray(miss_positions, dtype=np.int64)
+            result = batch_query(
+                self.engine, np.hstack([norm.lo[miss], norm.hi[miss]])
+            )
+            for j, i in enumerate(miss_positions):
+                entry = (
+                    float(result.estimates[j]),
+                    int(result.nodes_touched[j]),
+                    float(result.variances[j]),
+                )
+                self.cache.put(norm.keys[i], entry)
+                for position in pending[norm.keys[i]]:
+                    estimates[position], touched[position], variances[position] = entry
+        return BatchQueryResult(estimates, touched, variances)
+
+    def batch_range_query(
+        self, queries: Union[Iterable[QueryInput], np.ndarray], use_uniformity: bool = True
+    ) -> np.ndarray:
+        """Cached batch estimates in input order."""
+        return self.batch_query(queries, use_uniformity=use_uniformity).estimates
+
+    def stats(self) -> Dict[str, int]:
+        """Cache statistics (size, hits, misses, evictions)."""
+        return self.cache.stats()

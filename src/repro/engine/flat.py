@@ -1,0 +1,349 @@
+"""Compiling a pointer-based PSD into a flat structure-of-arrays engine.
+
+The compiled form lays the nodes out in **breadth-first order**: node 0 is the
+root, and every node's children occupy the contiguous index range
+``[child_start[i], child_end[i])``.  That single invariant is what makes the
+batch evaluator a loop of array operations — a query frontier expands into the
+next wavefront with one ``np.repeat`` instead of per-node pointer chasing.
+
+All arrays are read-only (``writeable=False``): a compiled engine is a view of
+a *released* artifact and must never drift from the tree it was compiled from.
+When the tree itself is mutated (post-processing, pruning) the memoised engine
+attached to the PSD is dropped via :func:`invalidate_compiled_engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List
+
+import numpy as np
+
+from ..privacy.mechanisms import laplace_variance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.tree import PrivateSpatialDecomposition, PSDNode
+
+__all__ = [
+    "FlatPSD",
+    "compile_psd",
+    "compile_hilbert_rtree",
+    "compiled_engine",
+    "compiled_planar_engine",
+    "invalidate_compiled_engine",
+    "expand_ranges",
+    "level_variances",
+    "COMPILED_ENGINE_KEY",
+    "PLANAR_ENGINE_KEY",
+]
+
+#: Metadata key under which :func:`compiled_engine` memoises the compiled form.
+COMPILED_ENGINE_KEY = "_compiled_flat_engine"
+
+#: Metadata key for the planar (bounding-box) view of a Hilbert R-tree.
+PLANAR_ENGINE_KEY = "_compiled_planar_engine"
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    array.setflags(write=False)
+    return array
+
+
+@dataclass
+class FlatPSD:
+    """A released PSD compiled to contiguous arrays, ready for batch queries.
+
+    Attributes
+    ----------
+    lo, hi:
+        ``(n_nodes, dims)`` rectangle bounds per node (half-open boxes, same
+        convention as :class:`~repro.geometry.rect.Rect`).
+    level:
+        ``(n_nodes,)`` node levels (leaves 0, root ``height``).
+    released:
+        ``(n_nodes,)`` the count a query uses — post-processed when present,
+        otherwise the raw noisy count; ``0.0`` where ``has_count`` is false.
+    has_count:
+        ``(n_nodes,)`` whether the node carries a usable released count
+        (mirrors ``repro.core.query._has_released_count``).
+    is_leaf:
+        ``(n_nodes,)`` leaf mask (after any pruning).
+    child_start, child_end:
+        ``(n_nodes,)`` BFS child offset ranges; equal for leaves.
+    area:
+        ``(n_nodes,)`` rectangle areas, used for uniformity fractions.
+    count_epsilons:
+        ``(height + 1,)`` per-level Laplace parameters, indexed by level.
+    level_variance:
+        ``(height + 1,)`` per-level count variance ``2 / eps_i^2`` (zero for
+        unreleased levels), the per-node term of Equation (1).
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+    level: np.ndarray
+    released: np.ndarray
+    has_count: np.ndarray
+    is_leaf: np.ndarray
+    child_start: np.ndarray
+    child_end: np.ndarray
+    area: np.ndarray
+    count_epsilons: np.ndarray
+    level_variance: np.ndarray
+    height: int
+    fanout: int
+    name: str = "psd"
+    domain_lo: np.ndarray = field(default=None)  # type: ignore[assignment]
+    domain_hi: np.ndarray = field(default=None)  # type: ignore[assignment]
+    domain_name: str = "domain"
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return int(self.lo.shape[0])
+
+    @property
+    def dims(self) -> int:
+        return int(self.lo.shape[1])
+
+    def nbytes(self) -> int:
+        """Memory footprint of the compiled arrays."""
+        arrays = (self.lo, self.hi, self.level, self.released, self.has_count,
+                  self.is_leaf, self.child_start, self.child_end, self.area,
+                  self.count_epsilons, self.level_variance)
+        return int(sum(a.nbytes for a in arrays))
+
+    def validate(self) -> "FlatPSD":
+        """Check the structural invariants the batch evaluator relies on.
+
+        Raises :class:`ValueError` on malformed input (wrong shapes, child
+        ranges out of bounds or non-BFS, level mismatches).  Used by the
+        ``.npz`` loader so a corrupted file fails loudly.
+        """
+        n = self.n_nodes
+        if n == 0:
+            raise ValueError("compiled engine must contain at least the root node")
+        if self.lo.shape != self.hi.shape or self.lo.ndim != 2:
+            raise ValueError("lo/hi must be matching (n_nodes, dims) arrays")
+        if not (np.all(np.isfinite(self.lo)) and np.all(np.isfinite(self.hi))):
+            raise ValueError("node bounds must be finite")
+        if np.any(self.lo > self.hi):
+            raise ValueError("node lower bounds must not exceed upper bounds")
+        if not np.all(np.isfinite(self.released)):
+            raise ValueError("released counts must be finite (0.0 where has_count is false)")
+        for name in ("level", "released", "has_count", "is_leaf",
+                     "child_start", "child_end", "area"):
+            if getattr(self, name).shape != (n,):
+                raise ValueError(f"{name} must have shape ({n},)")
+        if self.count_epsilons.shape != (self.height + 1,):
+            raise ValueError("count_epsilons must have height + 1 entries")
+        if self.level_variance.shape != (self.height + 1,):
+            raise ValueError("level_variance must have height + 1 entries")
+        if not np.all(np.isfinite(self.level_variance)) or np.any(self.level_variance < 0):
+            raise ValueError("level_variance entries must be finite and non-negative")
+        dims = self.dims
+        if self.domain_lo.shape != (dims,) or self.domain_hi.shape != (dims,):
+            raise ValueError("domain bounds must match the node dimensionality")
+        if int(self.level[0]) != self.height:
+            raise ValueError("node 0 must be the root at level == height")
+        if np.any(self.level < 0) or np.any(self.level > self.height):
+            raise ValueError("node levels must lie within [0, height]")
+        starts, ends = self.child_start, self.child_end
+        if np.any(ends < starts) or np.any(starts < 0) or np.any(ends > n):
+            raise ValueError("child offset ranges out of bounds")
+        leaf = ends == starts
+        if not np.array_equal(leaf, self.is_leaf):
+            raise ValueError("is_leaf mask inconsistent with child offsets")
+        internal = ~leaf
+        if np.any(starts[internal] <= np.nonzero(internal)[0]):
+            raise ValueError("children must come after their parent in BFS order")
+        parent_level = np.repeat(self.level[internal], (ends - starts)[internal])
+        child_idx = expand_ranges(starts[internal], ends[internal])
+        # In a breadth-first layout the child ranges, read in node order, must
+        # partition nodes 1..n-1 exactly — no gaps, no aliased subtrees.
+        if not np.array_equal(child_idx, np.arange(1, n, dtype=np.int64)):
+            raise ValueError("child ranges must partition nodes 1..n-1 in BFS order")
+        if not np.array_equal(self.level[child_idx], parent_level - 1):
+            raise ValueError("child level must be one less than its parent's")
+        return self
+
+    # ------------------------------------------------------------------
+    # Single-query conveniences (delegate to the batch evaluator)
+    # ------------------------------------------------------------------
+    def range_query(self, query, use_uniformity: bool = True) -> float:
+        """Estimated count inside ``query`` — flat equivalent of
+        :func:`repro.core.query.range_query`."""
+        from .batch import batch_query
+
+        result = batch_query(self, [query], use_uniformity=use_uniformity)
+        return float(result.estimates[0])
+
+    def nodes_touched(self, query) -> int:
+        """``n(Q)`` — flat equivalent of :func:`repro.core.query.nodes_touched`."""
+        from .batch import batch_query
+
+        return int(batch_query(self, [query]).nodes_touched[0])
+
+    def query_variance(self, query) -> float:
+        """``Err(Q)`` — flat equivalent of :func:`repro.core.query.query_variance`."""
+        from .batch import batch_query
+
+        return float(batch_query(self, [query]).variances[0])
+
+
+def level_variances(count_epsilons) -> np.ndarray:
+    """Per-level count variance ``2 / eps_i^2`` (zero for unreleased levels).
+
+    The single source of the per-node variance term of Equation (1), shared by
+    the compiler and the ``.npz`` loader.
+    """
+    return np.asarray(
+        [laplace_variance(e) if e > 0 else 0.0 for e in count_epsilons], dtype=np.float64
+    )
+
+
+def expand_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(s, e)`` for every (s, e) pair, fully vectorised.
+
+    This is the ragged-range primitive behind both structure validation and
+    the batch evaluator's frontier expansion.
+    """
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out_ends = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(out_ends - counts, counts)
+    return np.repeat(starts, counts) + offsets
+
+
+def compile_psd(psd: "PrivateSpatialDecomposition") -> FlatPSD:
+    """Compile a built PSD into its flat structure-of-arrays form.
+
+    Works for any of the three tree families (quadtree, kd-tree, Hilbert
+    R-tree — for the latter this is the 1-D index tree; see
+    :func:`compile_hilbert_rtree` for the planar view) and for pruned /
+    incomplete trees: the only assumptions are the ones the recursive
+    reference also makes (child rects nested in parents, child level one
+    below the parent's).
+    """
+    return _compile(psd, lambda node: node.rect, psd.domain, psd.name)
+
+
+def compile_hilbert_rtree(tree) -> FlatPSD:
+    """Compile the planar (bounding-box) view of a private Hilbert R-tree.
+
+    The node rectangles of the compiled engine are the planar bounding boxes
+    of each node's Hilbert-index interval — the R-tree rectangles the paper
+    releases — so the engine answers **planar** queries with the same
+    semantics as :meth:`~repro.core.hilbert_rtree.PrivateHilbertRTree.range_query`.
+    Unlike the other tree families, sibling boxes may overlap; the evaluator
+    never assumes disjointness, so nothing changes.
+    """
+    return _compile(tree.psd, tree.node_bbox, tree.domain, tree.name)
+
+
+def _compile(psd: "PrivateSpatialDecomposition", rect_of, domain, name: str) -> FlatPSD:
+    # Breadth-first order: visiting node i appends all of its children at
+    # once, so every node's children end up in one contiguous index range.
+    order: List["PSDNode"] = [psd.root]
+    i = 0
+    while i < len(order):
+        order.extend(order[i].children)
+        i += 1
+    n = len(order)
+    dims = domain.dims
+
+    starts = np.empty(n, dtype=np.int64)
+    ends = np.empty(n, dtype=np.int64)
+    pos = 1
+    for idx, node in enumerate(order):
+        starts[idx] = pos
+        pos += len(node.children)
+        ends[idx] = pos
+
+    lo = np.empty((n, dims), dtype=np.float64)
+    hi = np.empty((n, dims), dtype=np.float64)
+    level = np.empty(n, dtype=np.int32)
+    released = np.zeros(n, dtype=np.float64)
+    has_count = np.zeros(n, dtype=bool)
+    # The reference predicate for "carries a usable released count" — shared
+    # with the recursive backend so the two can never drift apart.
+    from ..core.query import _has_released_count
+
+    eps = np.asarray(psd.count_epsilons, dtype=np.float64)
+    for idx, node in enumerate(order):
+        rect = rect_of(node)
+        lo[idx] = rect.lo
+        hi[idx] = rect.hi
+        level[idx] = node.level
+        if _has_released_count(psd, node):
+            released[idx] = node.released_count
+            has_count[idx] = True
+
+    flat = FlatPSD(
+        lo=_freeze(lo),
+        hi=_freeze(hi),
+        level=_freeze(level),
+        released=_freeze(released),
+        has_count=_freeze(has_count),
+        is_leaf=_freeze(ends == starts),
+        child_start=_freeze(starts),
+        child_end=_freeze(ends),
+        area=_freeze(np.prod(hi - lo, axis=1)),
+        count_epsilons=_freeze(eps),
+        level_variance=_freeze(level_variances(eps)),
+        height=psd.height,
+        fanout=psd.fanout,
+        name=name,
+        domain_lo=_freeze(np.asarray(domain.rect.lo, dtype=np.float64)),
+        domain_hi=_freeze(np.asarray(domain.rect.hi, dtype=np.float64)),
+        domain_name=domain.name,
+    )
+    return flat
+
+
+def compiled_engine(psd: "PrivateSpatialDecomposition") -> FlatPSD:
+    """The memoised compiled engine for ``psd``, compiling on first use.
+
+    The engine is cached in ``psd.metadata`` so repeated ``backend="flat"``
+    queries pay the compile once.  Post-processing and pruning drop the cache
+    (see :func:`invalidate_compiled_engine`); the cache entry is also skipped
+    by serialisation, which only keeps JSON-compatible metadata.
+    """
+    cached = psd.metadata.get(COMPILED_ENGINE_KEY)
+    if isinstance(cached, FlatPSD):
+        return cached
+    engine = compile_psd(psd)
+    psd.metadata[COMPILED_ENGINE_KEY] = engine
+    return engine
+
+
+def compiled_planar_engine(tree) -> FlatPSD:
+    """The memoised planar engine of a Hilbert R-tree, compiling on first use.
+
+    Memoised in the underlying PSD's metadata (like :func:`compiled_engine`)
+    so that a mutation of the 1-D tree — whether through the
+    :class:`~repro.core.hilbert_rtree.PrivateHilbertRTree` wrappers or by
+    calling ``apply_ols`` / ``prune_low_count_subtrees`` on ``tree.psd``
+    directly — drops both compiled views at once.
+    """
+    cached = tree.psd.metadata.get(PLANAR_ENGINE_KEY)
+    if isinstance(cached, FlatPSD):
+        return cached
+    engine = compile_hilbert_rtree(tree)
+    tree.psd.metadata[PLANAR_ENGINE_KEY] = engine
+    return engine
+
+
+def invalidate_compiled_engine(psd: "PrivateSpatialDecomposition") -> None:
+    """Drop the memoised compiled engines after a mutation of the tree.
+
+    Called by :func:`repro.core.postprocess.apply_ols` and
+    :func:`repro.core.pruning.prune_low_count_subtrees`, the two released-data
+    transformations that change query answers.  Clears both the direct view
+    and, for Hilbert R-trees, the planar bounding-box view.
+    """
+    metadata: Dict[str, object] = getattr(psd, "metadata", None) or {}
+    metadata.pop(COMPILED_ENGINE_KEY, None)
+    metadata.pop(PLANAR_ENGINE_KEY, None)

@@ -1,0 +1,103 @@
+"""``.npz`` persistence for compiled PSD engines.
+
+The JSON release (:mod:`repro.core.serialization`) is the canonical published
+artifact — human-inspectable, structure-validated, tool-friendly.  But a
+query *server* should not pay JSON parsing plus tree reconstruction plus
+compilation on every start.  This module saves the compiled
+:class:`~repro.engine.flat.FlatPSD` arrays directly to a compressed ``.npz``:
+loading is a handful of ``np.load`` reads straight into the batch evaluator's
+working form.
+
+The payload is still only released information (rects, released counts,
+per-level epsilons) — shipping the ``.npz`` is as privacy-safe as shipping
+the JSON.  Structural invariants are re-validated on load so a truncated or
+hand-edited file fails loudly instead of answering queries wrongly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Union
+
+import numpy as np
+
+from .flat import FlatPSD, _freeze, level_variances
+
+__all__ = ["save_engine", "load_engine"]
+
+_FORMAT_VERSION = 1
+
+# The arrays persisted in the .npz.  `area` and `level_variance` are *not*
+# among them: both are fully derivable (from lo/hi and count_epsilons) and are
+# recomputed on load, so corrupted values can never skew answers and the file
+# carries no dead bytes.
+_ARRAY_FIELDS = (
+    "lo",
+    "hi",
+    "level",
+    "released",
+    "has_count",
+    "is_leaf",
+    "child_start",
+    "child_end",
+    "count_epsilons",
+    "domain_lo",
+    "domain_hi",
+)
+
+
+def save_engine(engine: FlatPSD, destination: Union[str, Path, IO[bytes]]) -> None:
+    """Write a compiled engine to ``destination`` as a compressed ``.npz``.
+
+    Scalar metadata (height, fanout, names) travels as a JSON string under the
+    ``meta`` key; everything else is stored as native arrays.
+    """
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "height": engine.height,
+        "fanout": engine.fanout,
+        "name": engine.name,
+        "domain_name": engine.domain_name,
+    }
+    arrays = {name: np.asarray(getattr(engine, name)) for name in _ARRAY_FIELDS}
+    if isinstance(destination, (str, Path)):
+        # np.savez appends '.npz' to bare string paths; write through an open
+        # handle so the file lands exactly where the caller asked.
+        with open(destination, "wb") as handle:
+            np.savez_compressed(handle, meta=np.array(json.dumps(meta)), **arrays)
+        return
+    np.savez_compressed(destination, meta=np.array(json.dumps(meta)), **arrays)
+
+
+def load_engine(source: Union[str, Path, IO[bytes]]) -> FlatPSD:
+    """Load a compiled engine previously written by :func:`save_engine`.
+
+    Raises :class:`ValueError` on unknown format versions, missing arrays or
+    structural-invariant violations (via :meth:`FlatPSD.validate`).
+    """
+    with np.load(source, allow_pickle=False) as payload:
+        if "meta" not in payload:
+            raise ValueError("not a compiled-engine file: missing 'meta' entry")
+        meta = json.loads(str(payload["meta"]))
+        version = meta.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported engine format version {version!r}")
+        missing = [name for name in _ARRAY_FIELDS if name not in payload]
+        if missing:
+            raise ValueError(f"engine file is missing arrays: {missing}")
+        arrays = {name: np.asarray(payload[name]) for name in _ARRAY_FIELDS}
+    # The derivable arrays are recomputed, never read from the file.
+    arrays["level_variance"] = level_variances(arrays["count_epsilons"])
+    if arrays["lo"].ndim != 2 or arrays["lo"].shape != arrays["hi"].shape:
+        raise ValueError("lo/hi must be matching (n_nodes, dims) arrays")
+    arrays["area"] = np.prod(arrays["hi"] - arrays["lo"], axis=1)
+    arrays = {name: _freeze(array) for name, array in arrays.items()}
+    engine = FlatPSD(
+        height=int(meta["height"]),
+        fanout=int(meta["fanout"]),
+        name=str(meta.get("name", "psd")),
+        domain_name=str(meta.get("domain_name", "domain")),
+        **arrays,
+    )
+    return engine.validate()

@@ -14,6 +14,7 @@ from .workload import (
     QueryShape,
     QueryWorkload,
     generate_workload,
+    random_query_rects,
     workloads_for_shapes,
 )
 
@@ -21,6 +22,7 @@ __all__ = [
     "QueryShape",
     "QueryWorkload",
     "generate_workload",
+    "random_query_rects",
     "workloads_for_shapes",
     "PAPER_QUERY_SHAPES",
     "KD_QUERY_SHAPES",

@@ -28,9 +28,47 @@ __all__ = [
     "QueryShape",
     "QueryWorkload",
     "generate_workload",
+    "random_query_rects",
     "PAPER_QUERY_SHAPES",
     "KD_QUERY_SHAPES",
 ]
+
+
+def random_query_rects(
+    domain: Domain,
+    n_queries: int,
+    rng: RngLike = None,
+    min_frac: float = 0.01,
+    max_frac: float = 0.3,
+) -> List[Rect]:
+    """Uniformly placed query rects with random per-axis extents.
+
+    Unlike :func:`generate_workload` this needs no data (no true answers, no
+    rejection of empty queries): extents are drawn per axis between
+    ``min_frac`` and ``max_frac`` of the domain width, centres uniformly over
+    the domain, and the box is clipped to the domain.  Degenerate (zero-width)
+    results are discarded and redrawn.  Used by the engine benchmark, the
+    serving example and the engine tests so they exercise one well-defined
+    workload shape.
+    """
+    if not 0 <= min_frac <= max_frac:
+        raise ValueError("need 0 <= min_frac <= max_frac")
+    if max_frac <= 0:
+        raise ValueError("max_frac must be positive, or no query can have positive extent")
+    gen = ensure_rng(rng)
+    lo_d = np.asarray(domain.rect.lo, dtype=float)
+    widths = np.asarray(domain.widths, dtype=float)
+    if np.any(widths <= 0):
+        raise ValueError("domain must have positive width on every axis")
+    queries: List[Rect] = []
+    while len(queries) < n_queries:
+        center = lo_d + gen.random(domain.dims) * widths
+        extents = widths * (min_frac + (max_frac - min_frac) * gen.random(domain.dims))
+        lo = np.maximum(center - extents / 2, lo_d)
+        hi = np.minimum(center + extents / 2, lo_d + widths)
+        if np.all(hi > lo):
+            queries.append(Rect(tuple(lo), tuple(hi)))
+    return queries
 
 
 @dataclass(frozen=True)

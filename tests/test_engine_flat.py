@@ -1,0 +1,441 @@
+"""Tests for the compiled flat-array query engine (:mod:`repro.engine`).
+
+The load-bearing property: on randomized trees and query workloads, the flat
+engine must agree with the recursive reference in :mod:`repro.core.query` —
+estimates within float-summation tolerance, ``n(Q)`` *exactly*, variances
+within tolerance — for all three PSD families, before and after
+post-processing and pruning.  The rest covers the serving conveniences:
+the LRU answer cache, ``.npz`` round-trips, the ``backend=`` dispatch and the
+CLI batch mode.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import (
+    build_private_hilbert_rtree,
+    build_private_kdtree,
+    build_private_quadtree,
+    nodes_touched,
+    query_variance,
+    range_query,
+    save_psd,
+)
+from repro.core.query import QUERY_BACKENDS
+from repro.data import uniform_points
+from repro.engine import (
+    CachedEngine,
+    FlatPSD,
+    QueryCache,
+    batch_query,
+    batch_range_query,
+    canonical_rect_key,
+    compile_hilbert_rtree,
+    compile_psd,
+    compiled_engine,
+    load_engine,
+    save_engine,
+)
+from repro.engine.flat import COMPILED_ENGINE_KEY
+from repro.geometry import Domain, Rect
+from repro.queries import random_query_rects
+
+
+# ----------------------------------------------------------------------
+# Shared builders
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def domain():
+    return Domain.unit(2)
+
+
+@pytest.fixture(scope="module")
+def points(domain):
+    return uniform_points(3_000, domain, rng=np.random.default_rng(17))
+
+
+def _build(variant: str, points, domain, seed: int = 0):
+    """One released PSD per family (the Hilbert entry is the 1-D index tree)."""
+    if variant == "quad-opt":
+        return build_private_quadtree(points, domain, height=4, epsilon=1.0,
+                                      variant="quad-opt", rng=seed)
+    if variant == "kd-hybrid":
+        return build_private_kdtree(points, domain, height=4, epsilon=1.0,
+                                    variant="kd-hybrid", rng=seed)
+    if variant == "hilbert-r":
+        return build_private_hilbert_rtree(points, domain, height=6, epsilon=1.0, rng=seed).psd
+    raise AssertionError(variant)
+
+
+VARIANTS = ("quad-opt", "kd-hybrid", "hilbert-r")
+
+
+def _random_queries(psd, rng, n=120):
+    """Random rects over the PSD's own domain (1-D for the Hilbert index tree),
+    plus the always-tricky whole-domain query (all-full path)."""
+    whole = Rect(psd.domain.rect.lo, psd.domain.rect.hi)
+    return [whole] + random_query_rects(psd.domain, n, rng=rng,
+                                        min_frac=0.005, max_frac=0.5)
+
+
+# ----------------------------------------------------------------------
+# Parity with the recursive reference
+# ----------------------------------------------------------------------
+class TestFlatRecursiveParity:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_randomized_parity_all_quantities(self, variant, points, domain):
+        psd = _build(variant, points, domain, seed=3)
+        engine = compile_psd(psd).validate()
+        queries = _random_queries(psd, np.random.default_rng(29))
+        result = batch_query(engine, queries)
+        for i, query in enumerate(queries):
+            assert result.estimates[i] == pytest.approx(range_query(psd, query), rel=1e-9, abs=1e-9)
+            assert int(result.nodes_touched[i]) == nodes_touched(psd, query)
+            assert result.variances[i] == pytest.approx(query_variance(psd, query), rel=1e-9, abs=1e-12)
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_parity_without_uniformity(self, variant, points, domain):
+        psd = _build(variant, points, domain, seed=5)
+        engine = compile_psd(psd)
+        queries = _random_queries(psd, np.random.default_rng(31), n=60)
+        estimates = batch_range_query(engine, queries, use_uniformity=False)
+        for i, query in enumerate(queries):
+            expected = range_query(psd, query, use_uniformity=False)
+            assert estimates[i] == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    def test_parity_survives_postprocess_and_prune(self, points, domain):
+        psd = build_private_quadtree(points, domain, height=4, epsilon=1.0,
+                                     variant="quad-baseline", rng=7)
+        queries = _random_queries(psd, np.random.default_rng(37), n=40)
+        for mutate in (lambda: psd.postprocess(), lambda: psd.prune(10.0)):
+            # Warm the memoised engine, then mutate: the stale engine must be
+            # dropped and the fresh compile must match the mutated tree.
+            _ = psd.range_query(queries[0], backend="flat")
+            mutate()
+            for query in queries:
+                flat = psd.range_query(query, backend="flat")
+                assert flat == pytest.approx(psd.range_query(query), rel=1e-9, abs=1e-9)
+                assert psd.nodes_touched(query, backend="flat") == psd.nodes_touched(query)
+
+    def test_hilbert_planar_parity(self, points, domain):
+        tree = build_private_hilbert_rtree(points, domain, height=6, epsilon=1.0, rng=13)
+        engine = compile_hilbert_rtree(tree).validate()
+        rng = np.random.default_rng(41)
+        queries = []
+        for _ in range(60):
+            lo = rng.random(2) * 0.7
+            hi = lo + 0.02 + rng.random(2) * 0.3
+            queries.append(Rect(tuple(lo), tuple(np.minimum(hi, 1.0))))
+        estimates = batch_range_query(engine, queries)
+        for i, query in enumerate(queries):
+            assert estimates[i] == pytest.approx(tree.range_query(query), rel=1e-9, abs=1e-9)
+            assert tree.range_query(query, backend="flat") == pytest.approx(
+                tree.range_query(query), rel=1e-9, abs=1e-9
+            )
+
+    def test_planar_engine_invalidated_by_direct_psd_mutation(self, points, domain):
+        from repro.core import apply_ols
+
+        tree = build_private_hilbert_rtree(points, domain, height=6, epsilon=1.0,
+                                           postprocess=False, rng=53)
+        query = Rect((0.2, 0.2), (0.7, 0.8))
+        _ = tree.range_query(query, backend="flat")  # warm the planar engine
+        apply_ols(tree.psd)  # mutate the 1-D tree *without* the wrapper method
+        assert tree.range_query(query, backend="flat") == pytest.approx(
+            tree.range_query(query), rel=1e-9, abs=1e-9
+        )
+
+    def test_empty_batch_and_disjoint_query(self, points, domain):
+        psd = _build("quad-opt", points, domain)
+        engine = compile_psd(psd)
+        empty = batch_query(engine, [])
+        assert len(empty) == 0
+        outside = Rect((2.0, 2.0), (3.0, 3.0))
+        result = batch_query(engine, [outside])
+        assert result.estimates[0] == 0.0
+        assert result.nodes_touched[0] == 0
+        assert result.variances[0] == 0.0
+
+    def test_query_input_forms_are_equivalent(self, points, domain):
+        psd = _build("quad-opt", points, domain)
+        engine = compile_psd(psd)
+        rects = [Rect((0.1, 0.2), (0.6, 0.9)), Rect((0.3, 0.0), (0.8, 0.5))]
+        as_rows = [(0.1, 0.2, 0.6, 0.9), (0.3, 0.0, 0.8, 0.5)]
+        as_array = np.asarray(as_rows, dtype=float)
+        expected = batch_range_query(engine, rects)
+        assert np.array_equal(batch_range_query(engine, as_rows), expected)
+        assert np.array_equal(batch_range_query(engine, as_array), expected)
+
+    def test_dimension_mismatch_rejected(self, points, domain):
+        engine = compile_psd(_build("quad-opt", points, domain))
+        with pytest.raises(ValueError, match="dims"):
+            batch_range_query(engine, [Rect((0.0,), (1.0,))])
+        with pytest.raises(ValueError, match="columns"):
+            batch_range_query(engine, np.zeros((2, 3)))
+
+    def test_inverted_coordinate_rows_rejected(self, points, domain):
+        # Rect enforces lo <= hi at construction; raw rows must be checked too
+        # or two negative extents multiply into a positive leaf overlap.
+        engine = compile_psd(_build("quad-opt", points, domain))
+        with pytest.raises(ValueError, match="lo <= hi"):
+            batch_range_query(engine, np.asarray([[0.4, 0.4, 0.3, 0.3]]))
+        with pytest.raises(ValueError, match="lo <= hi"):
+            batch_range_query(engine, [(0.4, 0.4, 0.3, 0.3)])
+        with pytest.raises(ValueError, match="finite"):
+            batch_range_query(engine, np.asarray([[np.nan, 0.0, 1.0, 1.0]]))
+
+
+# ----------------------------------------------------------------------
+# Backend dispatch and memoisation
+# ----------------------------------------------------------------------
+class TestBackendDispatch:
+    def test_unknown_backend_raises(self, points, domain):
+        psd = _build("quad-opt", points, domain)
+        query = Rect((0.1, 0.1), (0.5, 0.5))
+        with pytest.raises(ValueError, match="backend"):
+            range_query(psd, query, backend="gpu")
+        assert QUERY_BACKENDS == ("recursive", "flat")
+
+    def test_compiled_engine_is_memoised(self, points, domain):
+        psd = _build("kd-hybrid", points, domain)
+        first = compiled_engine(psd)
+        assert compiled_engine(psd) is first
+        assert psd.metadata[COMPILED_ENGINE_KEY] is first
+        assert psd.compile() is first
+        psd.prune(5.0)
+        assert COMPILED_ENGINE_KEY not in psd.metadata
+        assert compiled_engine(psd) is not first
+
+    def test_compiled_engine_not_serialised(self, points, domain, tmp_path):
+        psd = _build("quad-opt", points, domain)
+        _ = psd.range_query(Rect((0.0, 0.0), (0.4, 0.4)), backend="flat")
+        path = tmp_path / "release.json"
+        save_psd(psd, str(path))  # must not choke on the cached FlatPSD
+        assert COMPILED_ENGINE_KEY not in path.read_text()
+
+    def test_compiled_arrays_are_readonly(self, points, domain):
+        engine = compile_psd(_build("quad-opt", points, domain))
+        with pytest.raises(ValueError):
+            engine.released[0] = 1e9
+
+
+# ----------------------------------------------------------------------
+# LRU answer cache
+# ----------------------------------------------------------------------
+class TestQueryCache:
+    def test_hit_miss_accounting(self, points, domain):
+        cached = CachedEngine(compile_psd(_build("quad-opt", points, domain)), maxsize=64)
+        query = Rect((0.2, 0.2), (0.7, 0.7))
+        first = cached.range_query(query)
+        second = cached.range_query(query)
+        assert first == second
+        stats = cached.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["size"] == 1
+        # All three quantities ride the same entry: no further misses.
+        cached.nodes_touched(query)
+        cached.query_variance(query)
+        assert cached.stats()["misses"] == 1
+
+    def test_cached_answers_match_engine(self, points, domain):
+        engine = compile_psd(_build("kd-hybrid", points, domain))
+        cached = CachedEngine(engine, maxsize=256)
+        queries = _random_queries_2d(np.random.default_rng(43), 40)
+        direct = batch_query(engine, queries)
+        via_cache = cached.batch_query(queries)
+        assert np.array_equal(via_cache.estimates, direct.estimates)
+        assert np.array_equal(via_cache.nodes_touched, direct.nodes_touched)
+        # Second pass: everything is a hit, same answers.
+        again = cached.batch_query(queries)
+        assert np.array_equal(again.estimates, direct.estimates)
+        assert cached.stats()["hits"] >= len(queries)
+
+    def test_batch_with_duplicates_evaluates_once(self, points, domain):
+        cached = CachedEngine(compile_psd(_build("quad-opt", points, domain)))
+        query = Rect((0.1, 0.1), (0.9, 0.8))
+        result = cached.batch_query([query, query, query])
+        assert result.estimates[0] == result.estimates[1] == result.estimates[2]
+        stats = cached.stats()
+        assert stats["size"] == 1
+        assert stats["misses"] == 1  # coalesced duplicates are not extra misses
+
+    def test_lru_eviction(self, points, domain):
+        cached = CachedEngine(compile_psd(_build("quad-opt", points, domain)), maxsize=2)
+        rects = [Rect((0.1 * i, 0.0), (0.1 * i + 0.2, 0.5)) for i in range(1, 5)]
+        for rect in rects:
+            cached.range_query(rect)
+        stats = cached.stats()
+        assert stats["size"] == 2 and stats["evictions"] == 2
+
+    def test_canonical_key_absorbs_float_noise(self):
+        key_a = canonical_rect_key((0.1, 0.2), (0.30000000000000004, 0.4))
+        key_b = canonical_rect_key((0.1, 0.2), (0.3, 0.4))
+        assert key_a == key_b
+        assert canonical_rect_key((0.1,), (0.31,)) != canonical_rect_key((0.1,), (0.3,))
+
+    def test_queries_differing_by_formatting_share_an_entry(self, points, domain):
+        cached = CachedEngine(compile_psd(_build("quad-opt", points, domain)))
+        cached.range_query(Rect((0.1, 0.2), (0.3, 0.4)))
+        cached.range_query(Rect((0.1, 0.2), (0.1 + 0.1 + 0.1, 0.4)))  # 0.30000000000000004
+        assert cached.stats() ["size"] == 1 and cached.stats()["hits"] == 1
+
+    def test_cache_rejects_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            QueryCache(maxsize=0)
+
+
+def _random_queries_2d(rng, n):
+    return random_query_rects(Domain.unit(2), n, rng=rng, min_frac=0.05, max_frac=0.4)
+
+
+# ----------------------------------------------------------------------
+# .npz round-trip
+# ----------------------------------------------------------------------
+class TestEngineIO:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_roundtrip_identical_answers(self, variant, points, domain, tmp_path):
+        psd = _build(variant, points, domain, seed=19)
+        engine = compile_psd(psd)
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path)
+        loaded = load_engine(path)
+        assert isinstance(loaded, FlatPSD)
+        assert loaded.n_nodes == engine.n_nodes
+        assert loaded.height == engine.height and loaded.fanout == engine.fanout
+        assert loaded.name == engine.name and loaded.domain_name == engine.domain_name
+        queries = _random_queries(psd, np.random.default_rng(47), n=30)
+        before, after = batch_query(engine, queries), batch_query(loaded, queries)
+        # Same arrays in, bitwise-same answers out.
+        assert np.array_equal(before.estimates, after.estimates)
+        assert np.array_equal(before.nodes_touched, after.nodes_touched)
+        assert np.array_equal(before.variances, after.variances)
+
+    def test_save_honours_exact_path_without_suffix(self, points, domain, tmp_path):
+        engine = compile_psd(_build("quad-opt", points, domain))
+        path = tmp_path / "engine.dat"  # no .npz suffix
+        save_engine(engine, path)
+        assert path.exists()  # np.savez would have written engine.dat.npz
+        assert load_engine(path).n_nodes == engine.n_nodes
+
+    def test_load_rejects_non_engine_npz(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, data=np.arange(4))
+        with pytest.raises(ValueError, match="meta"):
+            load_engine(path)
+
+    def test_load_rejects_corrupted_structure(self, points, domain, tmp_path):
+        engine = compile_psd(_build("quad-opt", points, domain))
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path)
+        with np.load(path, allow_pickle=False) as payload:
+            arrays = dict(payload)
+        arrays["child_end"] = arrays["child_end"].copy()
+        arrays["child_end"][0] = 10 ** 9  # range beyond the node table
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, **arrays)
+        with pytest.raises(ValueError):
+            load_engine(bad)
+
+    def test_load_rejects_nonfinite_bounds_and_counts(self, points, domain, tmp_path):
+        # NaN makes lo > hi vacuously false and the intersect test silently
+        # skip the subtree; finiteness must be enforced explicitly.
+        engine = compile_psd(_build("quad-opt", points, domain))
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path)
+        with np.load(path, allow_pickle=False) as payload:
+            arrays = dict(payload)
+        for field, match in (("lo", "finite"), ("released", "finite")):
+            corrupted = {k: v.copy() for k, v in arrays.items()}
+            corrupted[field][1] = np.nan
+            bad = tmp_path / f"nan_{field}.npz"
+            np.savez(bad, **corrupted)
+            with pytest.raises(ValueError, match=match):
+                load_engine(bad)
+
+    def test_load_rejects_aliased_child_ranges(self, points, domain, tmp_path):
+        # An internal node whose child range aliases a sibling's subtree
+        # passes all per-node checks; the partition check must catch it.
+        engine = compile_psd(_build("quad-opt", points, domain))
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path)
+        with np.load(path, allow_pickle=False) as payload:
+            arrays = dict(payload)
+        starts, ends = arrays["child_start"].copy(), arrays["child_end"].copy()
+        starts[2], ends[2] = starts[1], ends[1]  # node 2 now claims node 1's children
+        arrays["child_start"], arrays["child_end"] = starts, ends
+        bad = tmp_path / "aliased.npz"
+        np.savez(bad, **arrays)
+        with pytest.raises(ValueError, match="partition"):
+            load_engine(bad)
+
+    def test_load_rejects_out_of_range_levels(self, points, domain, tmp_path):
+        # A declared height below the true depth would make leaf levels
+        # negative and silently wrap into level_variance; it must fail loudly.
+        engine = compile_psd(_build("quad-opt", points, domain))
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path)
+        with np.load(path, allow_pickle=False) as payload:
+            arrays = dict(payload)
+        meta = dict(json.loads(str(arrays.pop("meta"))))
+        meta["height"] -= 1
+        arrays["level"] = arrays["level"] - 1
+        arrays["count_epsilons"] = arrays["count_epsilons"][:-1]
+        bad = tmp_path / "bad_levels.npz"
+        np.savez(bad, meta=np.array(json.dumps(meta)), **arrays)
+        with pytest.raises(ValueError, match="level"):
+            load_engine(bad)
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+class TestCliEngine:
+    @pytest.fixture()
+    def release_path(self, points, domain, tmp_path):
+        psd = _build("quad-opt", points, domain, seed=23)
+        psd.strip_private_fields()
+        path = tmp_path / "release.json"
+        save_psd(psd, str(path))
+        return path
+
+    def test_query_engine_flat_matches_recursive(self, release_path, capsys):
+        spec = "0.1,0.1,0.6,0.7"
+        assert main(["query", str(release_path), "--rect", spec]) == 0
+        recursive_out = capsys.readouterr().out
+        assert main(["query", str(release_path), "--rect", spec, "--engine", "flat"]) == 0
+        assert capsys.readouterr().out == recursive_out
+
+    def test_queries_file_batch_mode(self, release_path, tmp_path, capsys):
+        workload = tmp_path / "queries.txt"
+        workload.write_text("# workload\n0.1,0.1,0.6,0.7\n\n0.2,0.3,0.9,0.9\n")
+        assert main(["query", str(release_path), "--queries-file", str(workload),
+                     "--engine", "flat"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("0.1,0.1,0.6,0.7\t")
+
+    def test_compile_appends_npz_suffix(self, release_path, tmp_path, capsys):
+        bare = tmp_path / "engine_noext"
+        assert main(["compile", str(release_path), "--output", str(bare)]) == 0
+        out = capsys.readouterr().out
+        assert str(bare) + ".npz" in out  # reported path is the real file
+        assert (tmp_path / "engine_noext.npz").exists()
+        assert main(["query", f"{bare}.npz", "--rect", "0.1,0.1,0.6,0.7"]) == 0
+
+    def test_compile_then_serve_npz(self, release_path, tmp_path, capsys):
+        npz = tmp_path / "engine.npz"
+        assert main(["compile", str(release_path), "--output", str(npz)]) == 0
+        capsys.readouterr()
+        spec = "0.1,0.1,0.6,0.7"
+        assert main(["query", str(npz), "--rect", spec]) == 0
+        npz_out = capsys.readouterr().out
+        assert main(["query", str(release_path), "--rect", spec]) == 0
+        assert capsys.readouterr().out == npz_out
+
+    def test_query_without_rects_fails(self, release_path):
+        with pytest.raises(SystemExit):
+            main(["query", str(release_path)])
