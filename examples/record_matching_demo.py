@@ -19,12 +19,9 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
 
-from repro.data import gaussian_cluster_points
 from repro.experiments.common import format_table
 from repro.experiments.fig7 import run_fig7b
-from repro.geometry import Domain
 
 
 def main() -> None:

@@ -31,8 +31,6 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from ..core.builder import build_psd
-from ..core.kdtree import build_private_kdtree
-from ..core.quadtree import build_private_quadtree
 from ..core.splits import KDSplit, QuadSplit
 from ..core.tree import PrivateSpatialDecomposition
 from ..geometry.domain import Domain

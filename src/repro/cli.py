@@ -31,11 +31,13 @@ from __future__ import annotations
 import argparse
 import csv
 import sys
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from .core import (
+    BUILD_LAYOUTS,
     build_private_hilbert_rtree,
     build_private_kdtree,
     build_private_quadtree,
@@ -116,22 +118,28 @@ def _cmd_build(args) -> int:
     points = _load_points(args)
     domain = _resolve_domain(args, points)
     variant = args.variant
+    start = time.perf_counter()
     if variant in QUADTREE_VARIANTS:
         psd = build_private_quadtree(points, domain, args.height, args.epsilon,
-                                     variant=variant, prune_threshold=args.prune, rng=args.seed)
+                                     variant=variant, prune_threshold=args.prune,
+                                     rng=args.seed, layout=args.layout)
     elif variant in KDTREE_VARIANTS:
         psd = build_private_kdtree(points, domain, args.height, args.epsilon,
-                                   variant=variant, prune_threshold=args.prune, rng=args.seed)
+                                   variant=variant, prune_threshold=args.prune,
+                                   rng=args.seed, layout=args.layout)
     elif variant == "hilbert-r":
         tree = build_private_hilbert_rtree(points, domain, 2 * args.height, args.epsilon,
-                                           prune_threshold=args.prune, rng=args.seed)
+                                           prune_threshold=args.prune, rng=args.seed,
+                                           layout=args.layout)
         psd = tree.psd
     else:
         raise SystemExit(f"unknown variant {variant!r}")
+    build_time = time.perf_counter() - start
     psd.strip_private_fields()
     save_psd(psd, args.output)
     print(f"released {psd.name}: {psd.node_count()} nodes, height {psd.height}, "
-          f"epsilon {args.epsilon}, written to {args.output}")
+          f"epsilon {args.epsilon}, built in {build_time:.3f}s ({args.layout} layout), "
+          f"written to {args.output}")
     return 0
 
 
@@ -245,6 +253,9 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--epsilon", type=float, default=0.5, help="total privacy budget")
     build.add_argument("--height", type=int, default=8, help="tree height")
     build.add_argument("--prune", type=float, default=None, help="optional pruning threshold")
+    build.add_argument("--layout", choices=BUILD_LAYOUTS, default="flat",
+                       help="build pipeline: 'flat' (level-vectorized, default) or "
+                            "'pointer' (per-node reference); identical output per seed")
     build.add_argument("--seed", type=int, default=0, help="random seed")
     build.add_argument("--output", required=True, help="path of the released JSON file")
     build.set_defaults(func=_cmd_build)

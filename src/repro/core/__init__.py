@@ -11,7 +11,20 @@ from .budget import (
     resolve_budget,
     uniform_level_epsilons,
 )
-from .builder import BudgetSplit, build_psd, populate_noisy_counts
+from .builder import BUILD_LAYOUTS, BudgetSplit, build_psd, populate_noisy_counts
+
+# NB: the raw flat-array mutators (apply_ols_flat, prune_flat, populate_
+# noisy_counts_flat) are deliberately NOT re-exported: they bypass the
+# compiled-engine invalidation that apply_ols / prune_low_count_subtrees /
+# populate_noisy_counts perform.  Import them from repro.core.flatbuild only
+# if you own the engine lifecycle yourself.
+from .flatbuild import (
+    FlatTree,
+    bfs_order,
+    build_flat_structure,
+    flatten_tree,
+    ols_beta,
+)
 from .hilbert_rtree import (
     BinaryMedianSplit,
     PrivateHilbertRTree,
@@ -50,6 +63,12 @@ __all__ = [
     "PrivateSpatialDecomposition",
     "build_psd",
     "populate_noisy_counts",
+    "BUILD_LAYOUTS",
+    "FlatTree",
+    "bfs_order",
+    "build_flat_structure",
+    "ols_beta",
+    "flatten_tree",
     "BudgetSplit",
     "BudgetStrategy",
     "UniformBudget",

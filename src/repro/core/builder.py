@@ -5,7 +5,7 @@ Every PSD variant in the paper is an instance of the same recipe:
 1. split the privacy budget ``eps`` into a *median* share (spent on choosing
    data-dependent split points) and a *count* share (spent on node counts) —
    Section 6.2, with the paper's recommended 30 / 70 split as default;
-2. build a complete tree of height ``h`` by recursively applying a
+2. build a complete tree of height ``h`` level by level with a
    :class:`~repro.core.splits.SplitRule`, spending the per-level median budget
    at every data-dependent level;
 3. release a Laplace-noised count for every node, with the per-level count
@@ -16,6 +16,20 @@ Every PSD variant in the paper is an instance of the same recipe:
 
 :func:`build_psd` implements this recipe once; the convenience constructors in
 :mod:`repro.core.quadtree` and :mod:`repro.core.kdtree` only choose the pieces.
+
+Two storage **layouts** implement the identical recipe:
+
+* ``layout="flat"`` (default) — the flat-native pipeline of
+  :mod:`repro.core.flatbuild`: the tree is constructed directly in BFS
+  structure-of-arrays form, with vectorized level splits where the rule
+  supports them and one batched Laplace vector per level;
+* ``layout="pointer"`` — the per-node reference: a pointer tree of
+  :class:`PSDNode` objects grown level by level with scalar noise draws.
+
+Both consume the RNG in the same order (nodes in BFS order within each level,
+levels root-down for structure and for noise), so the two layouts are
+**bit-for-bit interchangeable** for the same seed — the tests assert exactly
+that, and the build benchmark measures the gap between them.
 """
 
 from __future__ import annotations
@@ -33,7 +47,10 @@ from .budget import BudgetStrategy, resolve_budget
 from .splits import SplitRule
 from .tree import PSDNode, PrivateSpatialDecomposition
 
-__all__ = ["BudgetSplit", "build_psd", "populate_noisy_counts"]
+__all__ = ["BudgetSplit", "BUILD_LAYOUTS", "build_psd", "populate_noisy_counts"]
+
+#: The storage layouts accepted by ``build_psd``'s ``layout=`` parameter.
+BUILD_LAYOUTS = ("flat", "pointer")
 
 
 @dataclass(frozen=True)
@@ -76,6 +93,7 @@ def build_psd(
     noiseless_counts: bool = False,
     accountant: Optional[PrivacyAccountant] = None,
     structure_epsilon_charged: float = 0.0,
+    layout: str = "flat",
 ) -> PrivateSpatialDecomposition:
     """Build a complete private spatial decomposition.
 
@@ -113,11 +131,17 @@ def build_psd(
     structure_epsilon_charged:
         Budget already charged to the accountant by the caller for structure
         (informational; included in the accountant's total budget check).
+    layout:
+        ``"flat"`` (default) builds directly in the structure-of-arrays form;
+        ``"pointer"`` grows the per-node reference tree.  Identical output for
+        the same seed.
     """
     if height < 0:
         raise ValueError("height must be non-negative")
     if epsilon <= 0:
         raise ValueError("epsilon must be positive")
+    if layout not in BUILD_LAYOUTS:
+        raise ValueError(f"unknown build layout {layout!r}; expected one of {BUILD_LAYOUTS}")
     gen = ensure_rng(rng)
     pts = domain.validate_points(points)
 
@@ -134,39 +158,35 @@ def build_psd(
         ledger.charge(eps_median_per_level, level=level, kind="median")
 
     # ------------------------------------------------------------------
-    # Structure construction (recursive splitting).
+    # Structure construction (level by level, root down).
     # ------------------------------------------------------------------
-    def grow(rect, node_points, level) -> PSDNode:
-        node = PSDNode(rect=rect, level=level, _true_count=int(node_points.shape[0]))
-        if level == 0:
-            return node
-        eps_med = eps_median_per_level if split_rule.is_data_dependent(level, height) else 0.0
-        children = split_rule.split(rect, node_points, level, height, domain, eps_med, rng=gen)
-        if len(children) != split_rule.fanout:
-            raise RuntimeError(
-                f"split rule {split_rule!r} produced {len(children)} children, expected {split_rule.fanout}"
-            )
-        node.children = [grow(child_rect, child_points, level - 1) for child_rect, child_points in children]
-        return node
+    metadata = {
+        "split_rule": getattr(split_rule, "name", type(split_rule).__name__),
+        "count_budget": getattr(strategy, "name", type(strategy).__name__),
+        "epsilon": epsilon,
+        "epsilon_count": eps_count_total,
+        "epsilon_median": eps_median_total,
+        "structure_epsilon": structure_epsilon_charged,
+        "layout": layout,
+    }
+    if layout == "flat":
+        from .flatbuild import build_flat_structure
 
-    root = grow(domain.rect, pts, height)
+        backing = {"flat": build_flat_structure(pts, domain, height, split_rule,
+                                                eps_median_per_level, rng=gen)}
+    else:
+        backing = {"root": _grow_level_order(pts, domain, height, split_rule,
+                                             eps_median_per_level, gen)}
 
     psd = PrivateSpatialDecomposition(
-        root=root,
         domain=domain,
         height=height,
         fanout=split_rule.fanout,
         count_epsilons=count_epsilons,
         accountant=ledger,
         name=name,
-        metadata={
-            "split_rule": getattr(split_rule, "name", type(split_rule).__name__),
-            "count_budget": getattr(strategy, "name", type(strategy).__name__),
-            "epsilon": epsilon,
-            "epsilon_count": eps_count_total,
-            "epsilon_median": eps_median_total,
-            "structure_epsilon": structure_epsilon_charged,
-        },
+        metadata=metadata,
+        **backing,
     )
 
     populate_noisy_counts(psd, rng=gen, noiseless=noiseless_counts)
@@ -182,6 +202,42 @@ def build_psd(
     return psd
 
 
+def _grow_level_order(
+    pts: np.ndarray,
+    domain: Domain,
+    height: int,
+    split_rule: SplitRule,
+    eps_median_per_level: float,
+    gen: np.random.Generator,
+) -> PSDNode:
+    """Grow the pointer reference tree level by level (BFS node order).
+
+    Data-dependent rules therefore consume the RNG in exactly the same order
+    as the flat-native builder, keeping the two layouts bit-for-bit
+    interchangeable for a fixed seed.
+    """
+    root = PSDNode(rect=domain.rect, level=height, _true_count=int(pts.shape[0]))
+    frontier = [(root, pts)]
+    for level in range(height, 0, -1):
+        eps_med = eps_median_per_level if split_rule.is_data_dependent(level, height) else 0.0
+        next_frontier = []
+        for node, node_points in frontier:
+            children = split_rule.split(node.rect, node_points, level, height, domain,
+                                        eps_med, rng=gen)
+            if len(children) != split_rule.fanout:
+                raise RuntimeError(
+                    f"split rule {split_rule!r} produced {len(children)} children, "
+                    f"expected {split_rule.fanout}"
+                )
+            for child_rect, child_points in children:
+                child = PSDNode(rect=child_rect, level=level - 1,
+                                _true_count=int(child_points.shape[0]))
+                node.children.append(child)
+                next_frontier.append((child, child_points))
+        frontier = next_frontier
+    return root
+
+
 def populate_noisy_counts(
     psd: PrivateSpatialDecomposition,
     rng: RngLike = None,
@@ -192,9 +248,29 @@ def populate_noisy_counts(
     Levels with a zero count parameter release no count (``nan``).  With
     ``noiseless=True`` exact counts are stored instead — used by the
     non-private baselines; the result is then *not* differentially private.
+
+    Noise is drawn in canonical level order (root level first, nodes in BFS
+    order within a level); the flat-native path draws each level as one
+    batched vector, which is bitwise identical.  Because this *changes the
+    released counts*, any memoised compiled engine is invalidated first.
     """
+    from ..engine.flat import invalidate_compiled_engine
+
     gen = ensure_rng(rng)
-    for node in psd.nodes():
+    # The released counts are about to change: a memoised flat engine would
+    # otherwise keep serving the stale release.
+    invalidate_compiled_engine(psd)
+
+    flat = psd.flat_tree
+    if flat is not None:
+        from .flatbuild import populate_noisy_counts_flat
+
+        populate_noisy_counts_flat(flat, psd.count_epsilons, rng=gen, noiseless=noiseless)
+        return psd
+
+    from .flatbuild import bfs_order
+
+    for node in bfs_order(psd.root):
         eps = psd.count_epsilons[node.level]
         if noiseless:
             node.noisy_count = float(node._true_count)

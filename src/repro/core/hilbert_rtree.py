@@ -220,6 +220,7 @@ def build_private_hilbert_rtree(
     postprocess: bool = True,
     prune_threshold: Optional[float] = None,
     rng: RngLike = None,
+    layout: str = "flat",
 ) -> PrivateHilbertRTree:
     """Build a private Hilbert R-tree.
 
@@ -232,6 +233,9 @@ def build_private_hilbert_rtree(
     order:
         Hilbert curve order; the paper finds any order in 16–24 works and uses
         18.
+    layout:
+        ``"flat"`` (default, level-vectorized) or ``"pointer"`` (per-node
+        reference); identical output for the same seed.
     """
     if domain.dims != 2:
         raise ValueError("the private Hilbert R-tree is defined for two-dimensional data")
@@ -254,5 +258,6 @@ def build_private_hilbert_rtree(
         name="hilbert-r",
         postprocess=postprocess,
         prune_threshold=prune_threshold,
+        layout=layout,
     )
     return PrivateHilbertRTree(psd=psd, curve=curve, domain=domain)

@@ -75,6 +75,7 @@ def build_private_kdtree(
     cell_resolution: int = 256,
     cell_budget_fraction: float = 0.3,
     rng: RngLike = None,
+    layout: str = "flat",
 ) -> PrivateSpatialDecomposition:
     """Build one of the Figure-5 private kd-tree variants.
 
@@ -95,6 +96,9 @@ def build_private_kdtree(
     prune_threshold:
         Low-count pruning threshold applied after post-processing; the paper's
         experiments use 32.
+    layout:
+        ``"flat"`` (default, level-vectorized) or ``"pointer"`` (per-node
+        reference); identical output for the same seed.
     """
     if isinstance(variant, KDTreeConfig):
         config = variant
@@ -119,6 +123,7 @@ def build_private_kdtree(
             cell_budget_fraction=cell_budget_fraction,
             rng=gen,
             name=config.name,
+            layout=layout,
         )
 
     if config.hybrid:
@@ -140,6 +145,7 @@ def build_private_kdtree(
         postprocess=postprocess and not config.noiseless_counts,
         prune_threshold=prune_threshold,
         noiseless_counts=config.noiseless_counts,
+        layout=layout,
     )
 
 
@@ -155,6 +161,7 @@ def _build_cell_kdtree(
     cell_budget_fraction: float,
     rng: RngLike,
     name: str,
+    layout: str = "flat",
 ) -> PrivateSpatialDecomposition:
     """The cell-based kd-tree of [26].
 
@@ -191,4 +198,5 @@ def _build_cell_kdtree(
         prune_threshold=prune_threshold,
         accountant=accountant,
         structure_epsilon_charged=eps_grid,
+        layout=layout,
     )

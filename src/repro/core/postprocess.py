@@ -13,7 +13,11 @@ Computing the OLS naively means solving an ``n x n`` linear system.  The paper
 exploits the tree structure to do it in linear time with three traversals
 (Theorem 5); :func:`apply_ols` implements exactly that algorithm, generalised
 (as in the paper) to any per-level noise parameters ``eps_i`` — covering
-uniform, geometric and level-skipping budgets alike.
+uniform, geometric and level-skipping budgets alike.  For flat-native trees
+the three traversals run as three vectorized per-level sweeps
+(:func:`repro.core.flatbuild.ols_beta`); for pointer-backed trees the
+recursive reference below is used — both produce bit-for-bit identical
+estimates.
 
 Because the input is only the already-released noisy counts, post-processing
 never affects the privacy guarantee.
@@ -21,7 +25,7 @@ never affects the privacy guarantee.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
@@ -52,6 +56,13 @@ def apply_ols(psd: PrivateSpatialDecomposition) -> PrivateSpatialDecomposition:
     weights = _level_weights(psd.count_epsilons)
     if weights[0] <= 0:
         raise ValueError("OLS post-processing requires a positive leaf budget (eps_0 > 0)")
+
+    flat = psd.flat_tree
+    if flat is not None:
+        from .flatbuild import apply_ols_flat
+
+        apply_ols_flat(flat, psd.count_epsilons)
+        return psd
 
     f = float(psd.fanout)
     h = psd.height
@@ -100,17 +111,37 @@ def apply_ols(psd: PrivateSpatialDecomposition) -> PrivateSpatialDecomposition:
 
 
 def ols_estimate_tree(psd: PrivateSpatialDecomposition) -> Dict[int, float]:
-    """Return the OLS estimates keyed by ``id(node)`` without mutating the tree.
+    """Return the OLS estimates keyed by ``id(node)`` without mutating counts.
 
-    Convenience wrapper used by tests that compare the linear-time algorithm
-    against a brute-force weighted-least-squares solve.
+    The estimates come from the vectorized per-level sweeps
+    (:func:`repro.core.flatbuild.ols_beta`), a pure function over the count
+    arrays — no ``noisy_count`` / ``post_count`` is ever written, so readers
+    of the released counts never observe intermediate state.
+
+    Because the result is keyed by node identity, a flat-native tree must
+    materialise its pointer view to have nodes to key by (the same
+    materialisation any consumer of the returned dict performs via
+    ``psd.nodes()``); per the facade contract that view then becomes the
+    canonical storage.  Use :meth:`~PrivateSpatialDecomposition.postprocess`
+    / :func:`apply_ols` instead when you want in-place estimates on the fast
+    array path.
     """
-    snapshot = {id(n): n.post_count for n in psd.nodes()}
-    apply_ols(psd)
-    result = {id(n): float(n.post_count) for n in psd.nodes()}
-    for node in psd.nodes():
-        node.post_count = snapshot[id(node)]
-    return result
+    from .flatbuild import bfs_order, flatten_tree, ols_beta
+
+    if not psd.is_complete():
+        raise ValueError("OLS post-processing requires a complete tree; apply it before pruning")
+    flat = psd.flat_tree
+    if flat is not None:
+        # Compute from the existing arrays, then walk the materialised view
+        # (same BFS order as the arrays) purely to obtain the node keys.
+        beta = ols_beta(flat.level, flat.parent, flat.noisy_count,
+                        psd.count_epsilons, psd.fanout, psd.height)
+        order = bfs_order(psd.root)
+    else:
+        order, arrays = flatten_tree(psd)
+        beta = ols_beta(arrays.level, arrays.parent, arrays.noisy_count,
+                        psd.count_epsilons, psd.fanout, psd.height)
+    return {id(node): float(b) for node, b in zip(order, beta)}
 
 
 def check_consistency(psd: PrivateSpatialDecomposition, atol: float = 1e-6) -> float:

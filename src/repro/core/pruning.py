@@ -11,7 +11,7 @@ step, over a complete tree, and uses ``m = 32`` in the kd-tree experiments.
 
 from __future__ import annotations
 
-from .tree import PrivateSpatialDecomposition, PSDNode
+from .tree import PrivateSpatialDecomposition
 
 __all__ = ["prune_low_count_subtrees", "count_pruned_nodes"]
 
@@ -22,7 +22,9 @@ def prune_low_count_subtrees(psd: PrivateSpatialDecomposition, threshold: float)
     Returns the number of nodes removed.  The traversal is top-down: once a
     node is cut to a leaf its former descendants are never examined, matching
     the paper's "cut off the tree at this point".  Nodes that never released a
-    count (zero budget at their level) are never used as cut points.
+    count (zero budget at their level) are never used as cut points.  On a
+    flat-native tree this runs as a per-level mask plus one array compaction
+    (:func:`repro.core.flatbuild.prune_flat`) with identical results.
     """
     from ..engine.flat import invalidate_compiled_engine
 
@@ -30,6 +32,13 @@ def prune_low_count_subtrees(psd: PrivateSpatialDecomposition, threshold: float)
         raise ValueError("threshold must be non-negative")
     # The tree structure is about to change: any memoised flat engine is stale.
     invalidate_compiled_engine(psd)
+
+    flat = psd.flat_tree
+    if flat is not None:
+        from .flatbuild import prune_flat
+
+        return prune_flat(flat, threshold)
+
     removed = 0
     stack = [psd.root]
     while stack:

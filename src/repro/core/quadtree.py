@@ -54,6 +54,7 @@ def build_private_quadtree(
     variant: "str | QuadtreeConfig" = "quad-opt",
     prune_threshold: Optional[float] = None,
     rng: RngLike = None,
+    layout: str = "flat",
 ) -> PrivateSpatialDecomposition:
     """Build one of the Figure-3 private quadtree variants.
 
@@ -66,6 +67,9 @@ def build_private_quadtree(
         ``"quad-opt"`` (or an explicit :class:`QuadtreeConfig`).
     prune_threshold:
         Optional low-count pruning threshold (applied after post-processing).
+    layout:
+        ``"flat"`` (default, level-vectorized) or ``"pointer"`` (per-node
+        reference); identical output for the same seed.
     """
     if isinstance(variant, QuadtreeConfig):
         config = variant
@@ -85,4 +89,5 @@ def build_private_quadtree(
         name=config.name,
         postprocess=config.postprocess,
         prune_threshold=prune_threshold,
+        layout=layout,
     )

@@ -29,8 +29,8 @@ medians act on disjoint halves and compose in parallel).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -42,6 +42,7 @@ from ..privacy.rng import RngLike, ensure_rng
 
 __all__ = [
     "SplitResult",
+    "LevelSplit",
     "SplitRule",
     "QuadSplit",
     "KDSplit",
@@ -53,6 +54,12 @@ __all__ = [
 #: One child produced by a split: its rectangle, the points routed to it, and
 #: optionally the (axis, value) of the private split that created it.
 SplitResult = Tuple[Rect, np.ndarray]
+
+#: One whole level split in a single vectorized call: ``(child_lo, child_hi,
+#: child_of_point)`` where the bound arrays have ``n_nodes * fanout`` rows
+#: (children of node ``j`` at rows ``j*fanout .. (j+1)*fanout - 1``) and
+#: ``child_of_point[p]`` is the global child index point ``p`` routes to.
+LevelSplit = Tuple[np.ndarray, np.ndarray, np.ndarray]
 
 
 def _partition(rect_list: List[Rect], points: np.ndarray, domain: Domain) -> List[SplitResult]:
@@ -100,6 +107,30 @@ class SplitRule(ABC):
         """Levels (of the node being split) whose splits consume median budget."""
         return [level for level in range(1, height + 1) if self.is_data_dependent(level, height)]
 
+    def split_level(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        points: np.ndarray,
+        point_node: np.ndarray,
+        level: int,
+        height: int,
+        domain: Domain,
+        epsilon_median: float,
+        rng: RngLike = None,
+    ) -> "Optional[LevelSplit]":
+        """Split **every** node of a level in one vectorized call, if possible.
+
+        ``lo`` / ``hi`` are the ``(n_nodes, d)`` bounds of the level's nodes,
+        ``points`` the concatenated points of the level (sorted so each node's
+        points are contiguous) and ``point_node[p]`` the node index of point
+        ``p``.  Implementations return a :data:`LevelSplit`, or ``None`` when
+        no vectorized path applies — the flat builder then falls back to
+        per-node :meth:`split` calls in BFS order, so the privacy semantics
+        and RNG consumption are identical either way.
+        """
+        return None
+
 
 @dataclass(frozen=True)
 class QuadSplit(SplitRule):
@@ -116,6 +147,51 @@ class QuadSplit(SplitRule):
 
     def split(self, rect, points, level, height, domain, epsilon_median, rng=None):
         return _partition(list(rect.quad_children()), points, domain)
+
+    def split_level(self, lo, hi, points, point_node, level, height, domain,
+                    epsilon_median, rng=None):
+        """Vectorized midpoint split of a whole level (no RNG, no budget).
+
+        Child ordering and point routing replicate ``quad_children`` +
+        ``domain_aware_mask`` exactly: bit ``k`` of the child code is set when
+        the point lies at or above the node's midpoint on axis ``k``.  The one
+        case where the mask semantics could differ — a midpoint so close to
+        the domain's upper face that the low child's boundary would be treated
+        as closed — bails out to the per-node path.
+        """
+        mid = (lo + hi) / 2.0
+        domain_hi = np.asarray(domain.rect.hi, dtype=float)
+        if np.any(np.isclose(mid, domain_hi)):
+            return None
+        n_nodes, dims = lo.shape
+        n_child = 1 << dims
+
+        child_lo = np.empty((n_nodes, n_child, dims))
+        child_hi = np.empty((n_nodes, n_child, dims))
+        for code in range(n_child):
+            code_lo = lo.copy()
+            code_hi = hi.copy()
+            for axis in range(dims):
+                if (code >> axis) & 1:
+                    code_lo[:, axis] = mid[:, axis]
+                else:
+                    code_hi[:, axis] = mid[:, axis]
+            child_lo[:, code, :] = code_lo
+            child_hi[:, code, :] = code_hi
+
+        if points.shape[0]:
+            high = points >= mid[point_node]
+            code = np.zeros(points.shape[0], dtype=np.int64)
+            for axis in range(dims):
+                code |= high[:, axis].astype(np.int64) << axis
+            child_of_point = point_node * n_child + code
+        else:
+            child_of_point = np.empty(0, dtype=np.int64)
+        return (
+            child_lo.reshape(n_nodes * n_child, dims),
+            child_hi.reshape(n_nodes * n_child, dims),
+            child_of_point,
+        )
 
 
 @dataclass(frozen=True)
@@ -200,6 +276,14 @@ class HybridSplit(SplitRule):
                 rect, points, level, height, domain, epsilon_median, rng=rng
             )
         return QuadSplit().split(rect, points, level, height, domain, 0.0, rng=rng)
+
+    def split_level(self, lo, hi, points, point_node, level, height, domain,
+                    epsilon_median, rng=None):
+        """Vectorize the data-independent (quadtree) levels below the switch."""
+        if self.is_data_dependent(level, height):
+            return None
+        return QuadSplit().split_level(lo, hi, points, point_node, level, height,
+                                       domain, 0.0, rng=rng)
 
 
 def grid_median_along_axis(noisy: NoisyGrid, rect: Rect, axis: int) -> float:

@@ -9,6 +9,22 @@ decomposition of Section 4.1, and exposes the post-processing (Section 5) and
 pruning (Section 7) steps as methods that transform the released counts
 without touching the underlying data.
 
+:class:`PrivateSpatialDecomposition` is a **facade over two storage layouts**:
+
+* *flat-native* — the default produced by :func:`repro.core.builder.build_psd`:
+  the whole tree lives in the breadth-first structure-of-arrays form of
+  :class:`repro.core.flatbuild.FlatTree`, and noise population, OLS
+  post-processing and pruning run as vectorized per-level array transforms;
+* *pointer-backed* — a tree of :class:`PSDNode` objects, used by the recursive
+  reference implementations, deserialised releases and any caller that walks
+  nodes directly.
+
+Accessing :attr:`PrivateSpatialDecomposition.root` (or anything that needs
+actual node objects) on a flat-native PSD **materialises** the pointer view
+lazily and makes it the canonical representation from then on, so direct node
+mutation keeps its historical semantics.  Code that sticks to the public
+methods never leaves the fast array form.
+
 The node also stores the *true* count in a private attribute (prefixed with an
 underscore); it exists so the test-suite and the non-private baselines
 (``kd-pure`` / ``kd-true``) can compute ground truth, and it is explicitly
@@ -20,13 +36,14 @@ to model handing the structure to an untrusted party.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
-
-import numpy as np
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
 
 from ..geometry.domain import Domain
 from ..geometry.rect import Rect
 from ..privacy.accountant import PrivacyAccountant
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .flatbuild import FlatTree
 
 __all__ = ["PSDNode", "PrivateSpatialDecomposition"]
 
@@ -88,14 +105,15 @@ class PSDNode:
         return sum(1 for _ in self.iter_subtree())
 
 
-@dataclass
 class PrivateSpatialDecomposition:
     """A released private spatial decomposition.
 
     Attributes
     ----------
     root:
-        The root :class:`PSDNode` (covering the whole domain).
+        The root :class:`PSDNode` (covering the whole domain).  For
+        flat-native trees this is a **lazy view**: first access materialises
+        the pointer nodes from the arrays and makes them canonical.
     domain:
         The public data domain.
     height:
@@ -113,27 +131,69 @@ class PrivateSpatialDecomposition:
         Label used in experiment output (e.g. ``"quad-opt"``).
     """
 
-    root: PSDNode
-    domain: Domain
-    height: int
-    fanout: int
-    count_epsilons: Sequence[float]
-    accountant: Optional[PrivacyAccountant] = None
-    name: str = "psd"
-    metadata: Dict[str, object] = field(default_factory=dict)
-
-    def __post_init__(self) -> None:
-        self.count_epsilons = tuple(float(e) for e in self.count_epsilons)
+    def __init__(
+        self,
+        root: Optional[PSDNode] = None,
+        domain: Domain = None,
+        height: int = 0,
+        fanout: int = 4,
+        count_epsilons: Sequence[float] = (),
+        accountant: Optional[PrivacyAccountant] = None,
+        name: str = "psd",
+        metadata: Optional[Dict[str, object]] = None,
+        flat: "Optional[FlatTree]" = None,
+    ) -> None:
+        if domain is None:
+            raise TypeError("PrivateSpatialDecomposition requires a domain")
+        if (root is None) == (flat is None):
+            raise ValueError("provide exactly one of root= (pointer tree) or flat= (array tree)")
+        self._root = root
+        self._flat = flat
+        self.domain = domain
+        self.height = int(height)
+        self.fanout = int(fanout)
+        self.count_epsilons = tuple(float(e) for e in count_epsilons)
+        self.accountant = accountant
+        self.name = name
+        self.metadata: Dict[str, object] = {} if metadata is None else metadata
         if len(self.count_epsilons) != self.height + 1:
             raise ValueError("count_epsilons must have exactly height + 1 entries (levels 0..h)")
         if self.fanout < 2:
             raise ValueError("fanout must be at least 2")
 
     # ------------------------------------------------------------------
+    # Storage layout
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> PSDNode:
+        """The root node; materialises the pointer view of a flat-native tree.
+
+        After materialisation the pointer tree is the canonical representation
+        (so in-place node edits behave exactly as they always have) and the
+        flat arrays are dropped.
+        """
+        if self._root is None:
+            from .flatbuild import materialize_nodes
+
+            self._root = materialize_nodes(self._flat)
+            self._flat = None
+        return self._root
+
+    @property
+    def flat_tree(self) -> "Optional[FlatTree]":
+        """The native array form, or ``None`` once the pointer view took over."""
+        return self._flat
+
+    @property
+    def is_flat_native(self) -> bool:
+        """Whether the tree still lives in its flat structure-of-arrays form."""
+        return self._flat is not None
+
+    # ------------------------------------------------------------------
     # Traversal helpers
     # ------------------------------------------------------------------
     def nodes(self) -> Iterator[PSDNode]:
-        """All nodes in pre-order."""
+        """All nodes in pre-order (materialises the pointer view if needed)."""
         return self.root.iter_subtree()
 
     def leaves(self) -> List[PSDNode]:
@@ -142,7 +202,15 @@ class PrivateSpatialDecomposition:
 
     def node_count(self) -> int:
         """Total number of nodes currently in the tree."""
+        if self._flat is not None:
+            return self._flat.n_nodes
         return self.root.subtree_size()
+
+    def leaf_count(self) -> int:
+        """Number of current leaves (cheap on either storage layout)."""
+        if self._flat is not None:
+            return self._flat.leaf_count()
+        return len(self.leaves())
 
     def nodes_by_level(self) -> Dict[int, List[PSDNode]]:
         """Nodes grouped by level."""
@@ -154,6 +222,8 @@ class PrivateSpatialDecomposition:
     def is_complete(self) -> bool:
         """True if every internal node has exactly ``fanout`` children and all
         leaves sit at level 0 (required by the OLS post-processing)."""
+        if self._flat is not None:
+            return self._flat.is_complete()
         for node in self.nodes():
             if node.is_leaf:
                 if node.level != 0:
@@ -223,6 +293,9 @@ class PrivateSpatialDecomposition:
 
     def strip_private_fields(self) -> "PrivateSpatialDecomposition":
         """Zero out the true counts, modelling release to an untrusted party."""
+        if self._flat is not None:
+            self._flat.true_count[:] = 0
+            return self
         for node in self.nodes():
             node._true_count = 0
         return self
@@ -234,7 +307,7 @@ class PrivateSpatialDecomposition:
             "height": self.height,
             "fanout": self.fanout,
             "nodes": self.node_count(),
-            "leaves": len(self.leaves()),
+            "leaves": self.leaf_count(),
             "count_epsilons": tuple(round(e, 6) for e in self.count_epsilons),
             "path_epsilon": None if self.accountant is None else self.accountant.path_epsilon,
         }

@@ -18,7 +18,11 @@ range queries over it with vectorised NumPy kernels:
   levels, released counts, a has-released-count mask, child offset ranges,
   areas) plus per-level epsilon/variance tables.  Compilation is lossless for
   query purposes: the arrays capture exactly the released information the
-  canonical decomposition of Section 4.1 consumes.
+  canonical decomposition of Section 4.1 consumes.  Since the build pipeline
+  went flat-native (:mod:`repro.core.flatbuild`), a freshly built PSD already
+  *is* BFS arrays — compiling one is a cheap array snapshot rather than a
+  pointer walk; the walk remains only for pointer-backed trees (deserialised
+  releases, the planar Hilbert view, hand-built trees).
 * :mod:`repro.engine.batch` — the evaluator.  Many queries are answered at
   once by level-synchronous frontier expansion: one ``(query, node)`` pair
   array per wavefront, with containment / intersection / leaf-fraction logic

@@ -28,7 +28,6 @@ from typing import Dict, Iterable, List, Tuple, Union
 
 import numpy as np
 
-from ..geometry.rect import Rect
 from .batch import BatchQueryResult, QueryInput, batch_query, queries_to_arrays
 from .flat import FlatPSD
 

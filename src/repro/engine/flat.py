@@ -226,8 +226,53 @@ def compile_psd(psd: "PrivateSpatialDecomposition") -> FlatPSD:
     incomplete trees: the only assumptions are the ones the recursive
     reference also makes (child rects nested in parents, child level one
     below the parent's).
+
+    A **flat-native** tree (built by ``build_psd(layout="flat")``) is already
+    in BFS array form, so "compilation" degenerates to a cheap array snapshot
+    — no pointer walk, no node materialisation.
     """
+    flat = getattr(psd, "flat_tree", None)
+    if flat is not None:
+        return _compile_from_flat_tree(flat, psd)
     return _compile(psd, lambda node: node.rect, psd.domain, psd.name)
+
+
+def _compile_from_flat_tree(tree, psd: "PrivateSpatialDecomposition") -> FlatPSD:
+    """Snapshot a flat-native build-side tree into the frozen engine form.
+
+    Applies the same released-count predicate as ``_has_released_count``:
+    post-processed counts are always usable, raw noisy counts only where the
+    level released one.  Arrays are copied so later build-side mutations can
+    never alias into a released engine.
+    """
+    eps = np.asarray(psd.count_epsilons, dtype=np.float64)
+    if tree.post_count is not None:
+        released = tree.post_count.astype(np.float64, copy=True)
+        has_count = np.ones(tree.n_nodes, dtype=bool)
+    else:
+        has_count = (eps[tree.level] > 0) & np.isfinite(tree.noisy_count)
+        released = np.where(has_count, tree.noisy_count, 0.0)
+    lo = tree.lo.astype(np.float64, copy=True)
+    hi = tree.hi.astype(np.float64, copy=True)
+    return FlatPSD(
+        lo=_freeze(lo),
+        hi=_freeze(hi),
+        level=_freeze(tree.level.astype(np.int32, copy=True)),
+        released=_freeze(released),
+        has_count=_freeze(has_count),
+        is_leaf=_freeze(tree.is_leaf.copy()),
+        child_start=_freeze(tree.child_start.astype(np.int64, copy=True)),
+        child_end=_freeze(tree.child_end.astype(np.int64, copy=True)),
+        area=_freeze(np.prod(hi - lo, axis=1)),
+        count_epsilons=_freeze(eps),
+        level_variance=_freeze(level_variances(eps)),
+        height=psd.height,
+        fanout=psd.fanout,
+        name=psd.name,
+        domain_lo=_freeze(np.asarray(psd.domain.rect.lo, dtype=np.float64)),
+        domain_hi=_freeze(np.asarray(psd.domain.rect.hi, dtype=np.float64)),
+        domain_name=psd.domain.name,
+    )
 
 
 def compile_hilbert_rtree(tree) -> FlatPSD:
@@ -244,13 +289,11 @@ def compile_hilbert_rtree(tree) -> FlatPSD:
 
 
 def _compile(psd: "PrivateSpatialDecomposition", rect_of, domain, name: str) -> FlatPSD:
-    # Breadth-first order: visiting node i appends all of its children at
-    # once, so every node's children end up in one contiguous index range.
-    order: List["PSDNode"] = [psd.root]
-    i = 0
-    while i < len(order):
-        order.extend(order[i].children)
-        i += 1
+    # Breadth-first order (the canonical array order): every node's children
+    # end up in one contiguous index range.
+    from ..core.flatbuild import bfs_order
+
+    order: List["PSDNode"] = bfs_order(psd.root)
     n = len(order)
     dims = domain.dims
 

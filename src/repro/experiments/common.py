@@ -14,7 +14,7 @@ parameters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Sequence
 
 import numpy as np
@@ -26,7 +26,8 @@ from ..privacy.rng import RngLike, ensure_rng
 from ..queries.metrics import median_relative_error
 from ..queries.workload import QueryShape, QueryWorkload, generate_workload
 
-__all__ = ["ExperimentScale", "make_dataset", "make_workloads", "evaluate_tree", "format_table"]
+__all__ = ["ExperimentScale", "make_dataset", "make_workloads", "evaluate_tree",
+           "evaluate_psd", "format_table"]
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,31 @@ def evaluate_tree(
     out: Dict[str, float] = {}
     for label, workload in workloads.items():
         estimates = workload.evaluate(answer_fn)
+        out[label] = median_relative_error(estimates, workload.true_answers)
+    return out
+
+
+def evaluate_psd(
+    psd,
+    workloads: Dict[str, QueryWorkload],
+    backend: str = "flat",
+) -> Dict[str, float]:
+    """Median relative error of a built PSD on every workload.
+
+    ``backend="flat"`` (default) answers each workload as one vectorized batch
+    through the compiled engine — the natural fit for the many-build /
+    many-query experiment loops, where a flat-native build never has to
+    materialise pointer nodes at all.  ``backend="recursive"`` falls back to
+    the per-query reference walk.
+    """
+    if backend != "flat":
+        return evaluate_tree(lambda q: psd.range_query(q, backend=backend), workloads)
+    from ..engine import batch_range_query
+
+    engine = psd.compile()
+    out: Dict[str, float] = {}
+    for label, workload in workloads.items():
+        estimates = np.asarray(batch_range_query(engine, workload.queries))
         out[label] = median_relative_error(estimates, workload.true_answers)
     return out
 

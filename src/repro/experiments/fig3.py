@@ -26,7 +26,7 @@ from ..core.quadtree import QUADTREE_VARIANTS, build_private_quadtree
 from ..geometry.domain import TIGER_DOMAIN, Domain
 from ..privacy.rng import RngLike, ensure_rng
 from ..queries.workload import PAPER_QUERY_SHAPES, QueryShape
-from .common import ExperimentScale, evaluate_tree, make_dataset, make_workloads
+from .common import ExperimentScale, evaluate_psd, make_dataset, make_workloads
 
 __all__ = ["run_fig3", "PAPER_EPSILONS"]
 
@@ -56,7 +56,7 @@ def run_fig3(
                 psd = build_private_quadtree(
                     pts, domain, height=scale.quad_height, epsilon=epsilon, variant=variant, rng=gen
                 )
-                errors = evaluate_tree(psd.range_query, workloads)
+                errors = evaluate_psd(psd, workloads)
                 for label, err in errors.items():
                     errors_accum[label].append(err)
             for label, errs in errors_accum.items():

@@ -28,7 +28,7 @@ from ..core.kdtree import KDTREE_VARIANTS, build_private_kdtree
 from ..geometry.domain import TIGER_DOMAIN, Domain
 from ..privacy.rng import RngLike, ensure_rng
 from ..queries.workload import KD_QUERY_SHAPES, QueryShape
-from .common import ExperimentScale, evaluate_tree, make_dataset, make_workloads
+from .common import ExperimentScale, evaluate_psd, make_dataset, make_workloads
 
 __all__ = ["run_fig5", "PAPER_EPSILONS", "PAPER_PRUNE_THRESHOLD"]
 
@@ -68,7 +68,7 @@ def run_fig5(
                     prune_threshold=prune_threshold,
                     rng=gen,
                 )
-                errors = evaluate_tree(psd.range_query, workloads)
+                errors = evaluate_psd(psd, workloads)
                 for label, err in errors.items():
                     errors_accum[label].append(err)
             for label, errs in errors_accum.items():

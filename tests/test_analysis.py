@@ -23,7 +23,7 @@ from repro.analysis import (
     worst_case_error_for_strategy,
 )
 from repro.core import build_psd
-from repro.core.budget import geometric_level_epsilons, uniform_level_epsilons
+from repro.core.budget import geometric_level_epsilons
 from repro.core.splits import QuadSplit
 from repro.data import uniform_points
 from repro.geometry import Domain, Rect

@@ -98,7 +98,12 @@ class TestFigureRunners:
         rows = run_fig7b(n_per_party=1_500, epsilons=(0.1, 0.5), height=4, rng=7)
         methods = {r["method"] for r in rows}
         assert methods == {"quad-baseline", "kd-noisymean", "kd-standard"}
-        assert all(0.0 <= r["reduction_ratio"] <= 1.0 for r in rows)
+        # RR = 1 - candidates/total can dip (slightly) below zero at tiny
+        # budgets: dummy padding to noisy leaf counts may cost more SMC work
+        # than brute force, which is exactly the failure mode of [12] the
+        # paper discusses.  Only the upper bound is structural.
+        assert all(r["reduction_ratio"] <= 1.0 for r in rows)
+        assert all(r["reduction_ratio"] > 0.5 for r in rows if r["epsilon"] >= 0.5)
         assert all(0.0 <= r["pairs_completeness"] <= 1.0 for r in rows)
 
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.geometry import Domain, Rect
+from repro.geometry import Rect
 from repro.index import (
     ExactHilbertRTree,
     ExactKDTree,

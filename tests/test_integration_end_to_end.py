@@ -24,7 +24,7 @@ from repro.core import (
 )
 from repro.data import road_intersections
 from repro.experiments.common import evaluate_tree
-from repro.geometry import TIGER_DOMAIN, Rect
+from repro.geometry import TIGER_DOMAIN
 from repro.queries import QueryShape, generate_workload, median_relative_error
 
 

@@ -18,7 +18,7 @@ from repro.data import (
     uniform_1d,
     uniform_points,
 )
-from repro.geometry import Domain, Rect, TIGER_DOMAIN
+from repro.geometry import Domain, TIGER_DOMAIN
 from repro.queries import (
     KD_QUERY_SHAPES,
     PAPER_QUERY_SHAPES,
