@@ -4,14 +4,17 @@ Not a paper figure — this benchmark tracks the ROADMAP's "fast as the
 hardware allows" goal for the *release* half of the system (the paper's
 Fig 7a measures build time; :mod:`bench_engine_throughput` already tracks the
 query half).  For each configuration it runs the **identical** recipe —
-structure growth, per-level Laplace noise, OLS post-processing — through both
-storage layouts of :func:`repro.core.builder.build_psd`:
+structure growth, per-level private medians, per-level Laplace noise, OLS
+post-processing — through both storage layouts of
+:func:`repro.core.builder.build_psd`:
 
 * ``layout="pointer"`` — the per-node reference: recursive splitting over
-  ``PSDNode`` objects, scalar noise draws, the three recursive OLS traversals;
+  ``PSDNode`` objects, scalar median calls and noise draws, the three
+  recursive OLS traversals;
 * ``layout="flat"``    — the flat-native pipeline: level-vectorized
-  construction straight into BFS structure-of-arrays form, one batched noise
-  vector per level, OLS as three vectorized per-level sweeps.
+  construction straight into BFS structure-of-arrays form, one ragged-batch
+  private-median call per level and stage, one batched noise vector per
+  level, OLS as three vectorized per-level sweeps.
 
 Both layouts consume the same seeded RNG in the same order, so the outputs
 are bit-for-bit identical; the benchmark *asserts* that parity (released
@@ -19,16 +22,23 @@ counts, post-processed counts, node geometry exactly; ``n(Q)`` exactly and
 ``Err(Q)`` / estimates to float-summation tolerance through the compiled
 engine) before reporting any speedup.
 
+The ``--median-output`` axis sweeps the data-dependent build path —
+``--median-method`` (EM/SS/cell/NM) over the kd-hybrid tree, the ``kd-pure``
+exact-median baseline, and the Hilbert R-tree including its planar engine
+compile — and writes the series to ``BENCH_median.json``.
+
 Runnable three ways:
 
 * ``pytest benchmarks/bench_build_throughput.py`` — benchmark row plus a
   table under ``benchmarks/results/``;
-* ``python benchmarks/bench_build_throughput.py --output BENCH_build.json``
-  — standalone, writing the series as JSON so the repo tracks a build
-  throughput trajectory across PRs (alongside ``BENCH_engine.json``);
+* ``python benchmarks/bench_build_throughput.py --output BENCH_build.json
+  --median-output BENCH_median.json`` — standalone, writing the series as
+  JSON so the repo tracks a build throughput trajectory across PRs;
 * ``python benchmarks/bench_build_throughput.py --smoke`` — a fast parity +
-  regression gate for CI: small inputs, exits non-zero if parity breaks or
-  the flat pipeline stops being faster than the reference.
+  regression gate for CI: small inputs (including a median-method subset and
+  a Hilbert compile check), exits non-zero if parity breaks, if the flat
+  pipeline stops being faster than the reference, or if a kd-hybrid flat
+  build comes out slower than its pointer build.
 """
 
 from __future__ import annotations
@@ -37,29 +47,40 @@ import argparse
 import json
 import sys
 import time
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core import build_private_kdtree, build_private_quadtree
+from repro.core.hilbert_rtree import build_private_hilbert_rtree
 from repro.core.query import nodes_touched, query_variance
 from repro.data import road_intersections
 from repro.engine import batch_query, compile_psd
+from repro.engine.flat import compile_hilbert_rtree
 from repro.geometry import Domain, TIGER_DOMAIN
 from repro.queries import random_query_rects
 
 #: (variant, n_points, height) per benchmark row; the 100k/8 quadtree is the
-#: acceptance configuration tracked across PRs.
+#: acceptance configuration tracked across PRs.  Heights for ``hilbert-r``
+#: are binary levels (2 per fanout-4 level).
 FULL_CONFIGS: Tuple[Tuple[str, int, int], ...] = (
     ("quad-opt", 20_000, 6),
     ("quad-opt", 100_000, 8),
     ("kd-hybrid", 50_000, 6),
+    ("kd-pure", 50_000, 6),
+    ("hilbert-r", 60_000, 10),
 )
 
 SMOKE_CONFIGS: Tuple[Tuple[str, int, int], ...] = (
     ("quad-opt", 5_000, 5),
     ("kd-hybrid", 2_000, 3),
+    ("kd-pure", 2_000, 3),
+    ("hilbert-r", 2_000, 6),
 )
+
+#: The private-median methods the --median-method axis sweeps (Figure 4's
+#: EM / SS / cell / NM labels).
+MEDIAN_SWEEP_METHODS: Tuple[str, ...] = ("em", "ss", "cell", "noisymean")
 
 COLUMNS = [
     "variant",
@@ -74,14 +95,41 @@ COLUMNS = [
     "max_err_rel_diff",
 ]
 
+MEDIAN_COLUMNS = [
+    "variant",
+    "median_method",
+    "n_points",
+    "height",
+    "pointer_sec",
+    "flat_sec",
+    "speedup",
+    "compile_pointer_sec",
+    "compile_flat_sec",
+    "compile_speedup",
+    "exact_parity",
+]
+
 
 def _build(variant: str, points: np.ndarray, domain: Domain, height: int,
-           epsilon: float, seed: int, layout: str):
+           epsilon: float, seed: int, layout: str, median_method: Optional[str] = None):
     if variant.startswith("quad"):
         return build_private_quadtree(points, domain, height, epsilon,
                                       variant=variant, rng=seed, layout=layout)
+    if variant == "hilbert-r":
+        return build_private_hilbert_rtree(points, domain, height, epsilon,
+                                           median_method=median_method or "em",
+                                           rng=seed, layout=layout)
     return build_private_kdtree(points, domain, height, epsilon,
-                                variant=variant, rng=seed, layout=layout)
+                                variant=variant, median_method=median_method,
+                                rng=seed, layout=layout)
+
+
+def _arrays_equal(a, b, names) -> bool:
+    return all(np.array_equal(getattr(a, name), getattr(b, name)) for name in names)
+
+
+PARITY_ARRAYS = ("lo", "hi", "level", "released", "has_count",
+                 "child_start", "child_end", "count_epsilons")
 
 
 def _check_parity(pointer_psd, flat_psd, domain: Domain, n_queries: int, seed: int) -> Dict[str, object]:
@@ -94,11 +142,7 @@ def _check_parity(pointer_psd, flat_psd, domain: Domain, n_queries: int, seed: i
     """
     a = compile_psd(pointer_psd)
     b = compile_psd(flat_psd)
-    exact = all(
-        np.array_equal(getattr(a, name), getattr(b, name))
-        for name in ("lo", "hi", "level", "released", "has_count",
-                     "child_start", "child_end", "count_epsilons")
-    )
+    exact = _arrays_equal(a, b, PARITY_ARRAYS)
     queries = random_query_rects(domain, n_queries, rng=seed)
     result = batch_query(b, queries)
     max_nq_diff = 0
@@ -110,6 +154,31 @@ def _check_parity(pointer_psd, flat_psd, domain: Domain, n_queries: int, seed: i
         denom = max(abs(err_ref), 1e-12)
         max_err_rel = max(max_err_rel, abs(float(result.variances[i]) - err_ref) / denom)
     return {"exact_parity": bool(exact), "max_nq_diff": int(max_nq_diff),
+            "max_err_rel_diff": float(max_err_rel)}
+
+
+def _check_hilbert_parity(pointer_tree, flat_tree, domain: Domain, n_queries: int,
+                          seed: int) -> Dict[str, object]:
+    """Bitwise parity of a Hilbert R-tree across layouts, index and planar views.
+
+    The 1-D index engines must match bitwise; the planar bounding-box engines
+    (pointer walk vs flat vectorized compile) must match bitwise too; planar
+    query estimates are compared through the recursive reference within the
+    engine's float-summation tolerance.
+    """
+    exact = _arrays_equal(compile_psd(pointer_tree.psd), compile_psd(flat_tree.psd),
+                          PARITY_ARRAYS)
+    planar_a = compile_hilbert_rtree(pointer_tree)
+    planar_b = compile_hilbert_rtree(flat_tree)
+    exact = exact and _arrays_equal(planar_a, planar_b, PARITY_ARRAYS + ("area",))
+    queries = random_query_rects(domain, n_queries, rng=seed)
+    result = batch_query(planar_b, queries)
+    max_err_rel = 0.0
+    for i, query in enumerate(queries):
+        ref = pointer_tree.range_query(query)
+        denom = max(abs(ref), 1e-9)
+        max_err_rel = max(max_err_rel, abs(float(result.estimates[i]) - ref) / denom)
+    return {"exact_parity": bool(exact), "max_nq_diff": 0,
             "max_err_rel_diff": float(max_err_rel)}
 
 
@@ -140,16 +209,93 @@ def run_build_throughput(
             flat_psd = _build(variant, points, domain, height, epsilon, rng, "flat")
             flat_sec = min(flat_sec, time.perf_counter() - start)
 
-        parity = _check_parity(pointer_psd, flat_psd, domain, n_parity_queries, rng + 1)
+        if variant == "hilbert-r":
+            parity = _check_hilbert_parity(pointer_psd, flat_psd, domain,
+                                           n_parity_queries, rng + 1)
+            n_nodes = flat_psd.psd.node_count()
+        else:
+            parity = _check_parity(pointer_psd, flat_psd, domain, n_parity_queries, rng + 1)
+            n_nodes = flat_psd.node_count()
         rows.append({
             "variant": variant,
             "n_points": n_points,
             "height": height,
-            "n_nodes": flat_psd.node_count(),
+            "n_nodes": n_nodes,
             "pointer_sec": round(pointer_sec, 4),
             "flat_sec": round(flat_sec, 4),
             "speedup": round(pointer_sec / flat_sec, 1),
             **parity,
+        })
+    return rows
+
+
+def run_median_bench(
+    methods: Tuple[str, ...] = MEDIAN_SWEEP_METHODS,
+    domain: Domain = TIGER_DOMAIN,
+    epsilon: float = 0.5,
+    n_points: int = 20_000,
+    height: int = 8,
+    hilbert_n: int = 60_000,
+    hilbert_height: int = 10,
+    rng: int = 11,
+    repeats: int = 2,
+    n_parity_queries: int = 25,
+) -> List[Dict[str, object]]:
+    """The data-dependent build path: kd-hybrid x median method, kd-pure and
+    hilbert-r (including the planar engine compile), pointer vs flat.
+
+    Every row asserts bitwise layout parity before reporting a speedup; the
+    hilbert-r row additionally times :func:`compile_hilbert_rtree` on both
+    layouts — the flat path snapshots node bboxes from arrays instead of
+    walking ``PSDNode`` objects, which is the compile hot spot this series
+    tracks.
+    """
+    configs = [("kd-hybrid", method, n_points, height) for method in methods]
+    configs.append(("kd-pure", None, n_points, height))
+    configs.append(("hilbert-r", "em", hilbert_n, hilbert_height))
+
+    rows: List[Dict[str, object]] = []
+    for variant, method, n, h in configs:
+        points = road_intersections(n=n, rng=np.random.default_rng(rng))
+        pointer_sec = flat_sec = float("inf")
+        compile_pointer = compile_flat = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            pointer_psd = _build(variant, points, domain, h, epsilon, rng, "pointer", method)
+            pointer_sec = min(pointer_sec, time.perf_counter() - start)
+
+            start = time.perf_counter()
+            flat_psd = _build(variant, points, domain, h, epsilon, rng, "flat", method)
+            flat_sec = min(flat_sec, time.perf_counter() - start)
+
+            if variant == "hilbert-r":
+                start = time.perf_counter()
+                compile_hilbert_rtree(pointer_psd)
+                elapsed = time.perf_counter() - start
+                compile_pointer = elapsed if compile_pointer is None else min(compile_pointer, elapsed)
+                start = time.perf_counter()
+                compile_hilbert_rtree(flat_psd)
+                elapsed = time.perf_counter() - start
+                compile_flat = elapsed if compile_flat is None else min(compile_flat, elapsed)
+
+        if variant == "hilbert-r":
+            parity = _check_hilbert_parity(pointer_psd, flat_psd, domain,
+                                           n_parity_queries, rng + 1)
+        else:
+            parity = _check_parity(pointer_psd, flat_psd, domain, n_parity_queries, rng + 1)
+        rows.append({
+            "variant": variant,
+            "median_method": method or "true",
+            "n_points": n,
+            "height": h,
+            "pointer_sec": round(pointer_sec, 4),
+            "flat_sec": round(flat_sec, 4),
+            "speedup": round(pointer_sec / flat_sec, 1),
+            "compile_pointer_sec": None if compile_pointer is None else round(compile_pointer, 4),
+            "compile_flat_sec": None if compile_flat is None else round(compile_flat, 4),
+            "compile_speedup": (None if compile_pointer is None
+                                else round(compile_pointer / compile_flat, 1)),
+            "exact_parity": bool(parity["exact_parity"]),
         })
     return rows
 
@@ -160,14 +306,53 @@ def _speedup_floor(variant: str, smoke: bool) -> float:
     Quadtree builds are fully level-vectorized, so even tiny smoke inputs must
     beat the pointer reference comfortably (~20x measured; the 1.5x floor
     leaves an order of magnitude of headroom for noisy shared CI runners,
-    best-of-N timing absorbs the rest).  The kd variants spend their top
-    levels in per-node private-median calls (identical work in both layouts),
-    so at smoke scale the flat win is small and timing noise is large — gate
-    only against a gross regression there; the full run enforces the real bar.
+    best-of-N timing absorbs the rest).  Since the batched private medians
+    landed, the kd variants are level-vectorized end to end as well — the
+    smoke gate requires the flat build to at least *match* the pointer build
+    (the regression the gate exists to catch), and the full run enforces a
+    real multiple.  The Hilbert R-tree's full-run floor is lower: its binary
+    pointer splits are 1-D masks with little per-node Python to eliminate, so
+    the honest full-scale gap is smaller.
     """
     if variant.startswith("quad"):
         return 1.5 if smoke else 5.0
-    return 0.5 if smoke else 1.0
+    if variant == "hilbert-r":
+        return 1.0 if smoke else 2.5
+    return 1.0 if smoke else 3.0
+
+
+#: Full-run acceptance gates for the median series: the kd-hybrid EM build
+#: must beat the pointer reference >= 10x, and the flat planar compile must be
+#: >= 10x faster than the 0.172 s recorded for it in BENCH_engine.json (PR 1).
+KD_HYBRID_EM_SPEEDUP_FLOOR = 10.0
+HILBERT_COMPILE_BASELINE_SEC = 0.172
+
+
+def _median_failures(median_rows: List[Dict[str, object]], smoke: bool) -> List[str]:
+    failures = []
+    for row in median_rows:
+        tag = f"{row['variant']}[{row['median_method']}] n={row['n_points']}"
+        if not row["exact_parity"]:
+            failures.append(f"{tag}: layouts diverged")
+        if row["variant"] == "kd-hybrid":
+            # ss is dominated by the smooth-sensitivity scan itself (identical
+            # work in both layouts), so it only has to not regress.
+            if smoke or row["median_method"] == "ss":
+                floor = 1.0
+            elif row["median_method"] == "em":
+                floor = KD_HYBRID_EM_SPEEDUP_FLOOR
+            else:
+                floor = 3.0
+            if row["speedup"] < floor:
+                failures.append(f"{tag}: build speedup {row['speedup']}x below the {floor}x floor")
+        if row["compile_speedup"] is not None:
+            if row["compile_speedup"] < 1.0:
+                failures.append(f"{tag}: planar compile regression ({row['compile_speedup']}x)")
+            if not smoke and row["compile_flat_sec"] > HILBERT_COMPILE_BASELINE_SEC / 10.0:
+                failures.append(
+                    f"{tag}: flat planar compile {row['compile_flat_sec']}s not 10x faster "
+                    f"than the {HILBERT_COMPILE_BASELINE_SEC}s PR 1 baseline")
+    return failures
 
 
 def test_build_throughput(benchmark, capsys):
@@ -193,13 +378,34 @@ def test_build_throughput(benchmark, capsys):
         assert row["speedup"] >= _speedup_floor(row["variant"], smoke=True), row
 
 
+def test_median_throughput(capsys):
+    from conftest import report
+
+    rows = run_median_bench(methods=("em", "noisymean"), n_points=1_500, height=3,
+                            hilbert_n=1_500, hilbert_height=6, rng=11, repeats=3)
+    report(
+        "median_throughput",
+        "Level-batched private medians vs per-node reference — build seconds",
+        rows,
+        MEDIAN_COLUMNS,
+        capsys,
+    )
+    failures = _median_failures(rows, smoke=True)
+    assert not failures, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--epsilon", type=float, default=0.5)
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--smoke", action="store_true",
                         help="small inputs; fail fast on parity breaks or regressions")
-    parser.add_argument("--output", default=None, help="write the series as JSON here")
+    parser.add_argument("--output", default=None, help="write the build series as JSON here")
+    parser.add_argument("--median-method", nargs="+", default=list(MEDIAN_SWEEP_METHODS),
+                        choices=sorted(MEDIAN_SWEEP_METHODS),
+                        help="median methods swept by the kd-hybrid rows of the median series")
+    parser.add_argument("--median-output", default=None,
+                        help="run the private-median sweep and write it as JSON here")
     args = parser.parse_args(argv)
 
     configs = SMOKE_CONFIGS if args.smoke else FULL_CONFIGS
@@ -220,6 +426,20 @@ def main(argv=None) -> int:
         if row["speedup"] < floor:
             failures.append(f"{row['variant']} n={row['n_points']}: speedup "
                             f"{row['speedup']}x below the {floor}x floor")
+
+    median_rows: List[Dict[str, object]] = []
+    if args.median_output or args.smoke:
+        if args.smoke:
+            median_rows = run_median_bench(methods=("em", "noisymean"), n_points=1_500,
+                                           height=3, hilbert_n=1_500, hilbert_height=6,
+                                           epsilon=args.epsilon, rng=args.seed, repeats=3)
+        else:
+            median_rows = run_median_bench(methods=tuple(args.median_method),
+                                           epsilon=args.epsilon, rng=args.seed)
+        for row in median_rows:
+            print(json.dumps(row))
+        failures.extend(_median_failures(median_rows, args.smoke))
+
     if failures:
         for message in failures:
             print(f"FAIL: {message}", file=sys.stderr)
@@ -236,6 +456,21 @@ def main(argv=None) -> int:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
         print(f"written {args.output}")
+    if args.median_output and median_rows:
+        payload = {
+            "benchmark": "median_throughput",
+            "epsilon": args.epsilon,
+            "seed": args.seed,
+            "baseline": {
+                "kd_hybrid_pr2_speedup": 4.6,
+                "hilbert_compile_pr1_sec": HILBERT_COMPILE_BASELINE_SEC,
+            },
+            "rows": median_rows,
+        }
+        with open(args.median_output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"written {args.median_output}")
     return 0
 
 

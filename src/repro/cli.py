@@ -48,7 +48,7 @@ from .core.kdtree import KDTREE_VARIANTS
 from .core.quadtree import QUADTREE_VARIANTS
 from .core.query import QUERY_BACKENDS
 from .data import road_intersections
-from .engine import batch_range_query, compile_psd, load_engine, save_engine
+from .engine import CachedEngine, batch_range_query, compile_psd, load_engine, save_engine
 from .experiments import (
     ExperimentScale,
     format_table,
@@ -177,22 +177,34 @@ def _cmd_query(args) -> int:
     if not specs:
         raise SystemExit("provide at least one query via --rect or --queries-file")
 
+    cached = None
     if args.release.endswith(".npz"):
         try:
             engine = load_engine(args.release)
         except Exception as exc:
             raise SystemExit(f"cannot load compiled engine {args.release!r}: {exc}")
         rects = [_parse_rect(spec, engine.dims) for spec in specs]
-        answers = batch_range_query(engine, rects)
+        cached = CachedEngine(engine)
+        answers = cached.batch_range_query(rects)
     else:
         psd = load_psd(args.release)
         rects = [_parse_rect(spec, psd.domain.dims) for spec in specs]
         if args.engine == "flat":
-            answers = batch_range_query(psd.compile(), rects)
+            cached = CachedEngine(psd.compile())
+            answers = cached.batch_range_query(rects)
         else:
             answers = [psd.range_query(rect) for rect in rects]
     for spec, answer in zip(specs, answers):
         print(f"{spec}\t{answer:.2f}")
+    if args.stats:
+        if cached is None:
+            print("cache stats: n/a (recursive backend serves without the answer cache)",
+                  file=sys.stderr)
+        else:
+            stats = cached.stats()
+            print(f"cache stats: {stats['hits']} hits, {stats['misses']} misses, "
+                  f"{stats['size']}/{stats['maxsize']} entries, "
+                  f"{stats['evictions']} evictions", file=sys.stderr)
     return 0
 
 
@@ -275,6 +287,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="batch mode: file with one rect spec per line ('#' comments allowed)")
     query.add_argument("--engine", choices=QUERY_BACKENDS, default="recursive",
                        help="query backend for JSON releases (.npz input always uses flat)")
+    query.add_argument("--stats", action="store_true",
+                       help="report LRU answer-cache effectiveness (hits/misses) on stderr; "
+                            "flat engines only")
     query.set_defaults(func=_cmd_query)
 
     experiment = sub.add_parser("experiment", help="run one of the paper-figure experiments")

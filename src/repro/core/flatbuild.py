@@ -5,13 +5,16 @@ growing a pointer tree of :class:`~repro.core.tree.PSDNode` objects and
 compiling it to arrays afterwards, the tree is constructed **directly** in the
 breadth-first structure-of-arrays form — one level at a time:
 
-* structure: every level's children are produced in one pass.  Rules with a
-  vectorized path (:meth:`~repro.core.splits.SplitRule.split_level`, e.g. the
-  quadtree) partition *all* points of the level with array comparisons and a
-  stable argsort; data-dependent rules fall back to per-node
-  :meth:`~repro.core.splits.SplitRule.split` calls in BFS order, so the
-  private-median mechanisms consume the RNG stream in exactly the same order
-  as the pointer reference builder;
+* structure: every level's children are produced in one pass through
+  :meth:`~repro.core.splits.SplitRule.split_level`.  Data-independent rules
+  (quadtree) partition *all* points of the level with array comparisons and a
+  stable argsort; data-dependent rules (kd, hybrid, the Hilbert binary split)
+  call the **ragged-batch private medians** of :mod:`repro.privacy.median`
+  once per stage, whose node-major draw layout consumes the RNG stream in
+  exactly the same order as the pointer reference builder.  Only rules
+  without a vectorized path (the cell-based kd split, custom callables) fall
+  back to per-node :meth:`~repro.core.splits.SplitRule.split` calls in BFS
+  order;
 * noise: each level's Laplace draws happen as **one batched vector** —
   bitwise identical to per-node scalar draws from the same generator, since
   NumPy fills an array by repeating the scalar sampler;
@@ -188,9 +191,12 @@ def build_flat_structure(
             cur_lo, cur_hi, cur_pts, cur_node, level, height, domain, eps_med, rng=gen
         )
         if batched is not None:
-            child_lo, child_hi, child_of_pt = batched
+            # ``level_pts`` is normally the level's own points; a point the
+            # reference routes to two children (domain-edge split) appears
+            # twice, which the bincount/argsort handle transparently.
+            child_lo, child_hi, child_of_pt, level_pts = batched
             order = np.argsort(child_of_pt, kind="stable")
-            cur_pts = cur_pts[order]
+            cur_pts = level_pts[order]
             cur_node = child_of_pt[order]
             counts = np.bincount(child_of_pt, minlength=child_lo.shape[0]).astype(np.int64)
         else:

@@ -26,13 +26,19 @@ import numpy as np
 from ..geometry.domain import Domain
 from ..geometry.hilbert import HilbertCurve
 from ..geometry.rect import Rect, domain_aware_mask
-from ..privacy.median import MedianMethod, resolve_median_method, true_median
+from ..privacy.median import (
+    MedianMethod,
+    resolve_median_method,
+    true_median,
+    true_median_batch,
+)
 from ..privacy.rng import RngLike, ensure_rng
 from .builder import BudgetSplit, build_psd
 from .splits import SplitResult, SplitRule
 from .tree import PrivateSpatialDecomposition
 
-__all__ = ["BinaryMedianSplit", "PrivateHilbertRTree", "build_private_hilbert_rtree"]
+__all__ = ["BinaryMedianSplit", "PrivateHilbertRTree", "build_private_hilbert_rtree",
+           "hilbert_interval_bounds"]
 
 
 @dataclass(frozen=True)
@@ -69,6 +75,112 @@ class BinaryMedianSplit(SplitRule):
             else:
                 results.append((child_rect, points))
         return results
+
+    def split_level(self, lo, hi, points, point_node, level, height, domain,
+                    epsilon_median, rng=None):
+        """One batched private median per level over the Hilbert indices.
+
+        Same node-major draw layout as :meth:`repro.core.splits.KDSplit.split_level`
+        (a single stage here), so the flat build consumes the RNG exactly as
+        the per-node reference does.
+        """
+        method = resolve_median_method(self.median_method)
+        batch = getattr(method, "batch", None)
+        k = lo.shape[0]
+        method_is_private = method is not true_median
+        needs_draws = method_is_private and epsilon_median > 0
+        draws_per_call = getattr(method, "draws_per_call", None)
+        if needs_draws and (batch is None or draws_per_call is None):
+            return None
+
+        pts = np.asarray(points, dtype=float)
+        seg = np.asarray(point_node, dtype=np.int64)
+        n_pts = pts.shape[0]
+        dom_hi = float(domain.rect.hi[0])
+        draws_per_value = int(getattr(method, "draws_per_value", 0)) if needs_draws else 0
+        if draws_per_value not in (0, 1):
+            return None  # the level draw layout below assumes one draw per value
+        if draws_per_value and n_pts and np.any(np.isclose(pts[:, 0], dom_hi)):
+            return None  # see KDSplit.split_level: keep the draw layout static
+
+        gen = ensure_rng(rng)
+        counts = (np.bincount(seg, minlength=k).astype(np.int64)
+                  if n_pts else np.zeros(k, dtype=np.int64))
+        offs = np.concatenate(([0], np.cumsum(counts)))
+        vals = pts[:, 0] if n_pts else np.empty(0)
+        # This rule hands each level back sorted by (child, value), so after
+        # the first level the sort degenerates to an O(n) check.
+        from .splits import _segment_sorted_order
+
+        order = _segment_sorted_order(vals, seg, offs)
+        sorted_vals = vals if order is None else vals[order]
+        lo0, hi0 = lo[:, 0], hi[:, 0]
+
+        if not method_is_private:
+            split = np.asarray(true_median_batch(sorted_vals, offs, 1.0, lo0, hi0,
+                                                 validate=False))
+        elif not needs_draws:
+            split = (lo0 + hi0) / 2.0
+        else:
+            d = int(draws_per_call)
+            if draws_per_value == 0:
+                uniforms = gen.random(d * k).reshape(k, d)
+            else:
+                per_node = draws_per_value * counts + d
+                base = np.concatenate(([0], np.cumsum(per_node)))
+                u = gen.random(int(base[-1]))
+                seg_sorted = np.repeat(np.arange(k, dtype=np.int64), counts)
+                rank = np.arange(n_pts, dtype=np.int64) - offs[:-1][seg_sorted]
+                uniforms = (u[base[seg_sorted] + rank],
+                            u[(base[:-1] + counts)[:, None] + np.arange(d)[None, :]])
+            eps_vec = np.full(k, epsilon_median)
+            split = np.asarray(batch(sorted_vals, offs, eps_vec, lo0, hi0,
+                                     uniforms=uniforms, validate=False))
+        split = np.minimum(np.maximum(split, lo0), hi0)  # Rect.split_at clamp
+
+        duplicated = False
+        if n_pts:
+            at_split = pts[:, 0] == split[seg]
+            dup = np.isclose(split, dom_hi)[seg] & at_split
+            side = (pts[:, 0] >= split[seg]).astype(np.int64)
+            if np.any(dup):
+                duplicated = True
+                side[dup] = 0
+                pts = np.concatenate([pts, pts[dup]], axis=0)
+                seg = np.concatenate([seg, seg[dup]])
+                side = np.concatenate(
+                    [side, np.ones(int(np.count_nonzero(dup)), dtype=np.int64)])
+        else:
+            side = np.empty(0, dtype=np.int64)
+
+        child_lo = np.repeat(lo[:, None, :], 2, axis=1).astype(float)
+        child_hi = np.repeat(hi[:, None, :], 2, axis=1).astype(float)
+        child_hi[:, 0, 0] = split
+        child_lo[:, 1, 0] = split
+        child_of_point = seg * 2 + side
+        if n_pts and not duplicated:
+            base_order = np.arange(n_pts, dtype=np.int64) if order is None else order
+            ret = base_order[np.argsort(child_of_point[base_order], kind="stable")]
+            child_of_point = child_of_point[ret]
+            pts = pts[ret]
+        return (child_lo.reshape(2 * k, 1), child_hi.reshape(2 * k, 1),
+                child_of_point, pts)
+
+
+def hilbert_interval_bounds(lo_vals, hi_vals, curve: HilbertCurve):
+    """Inclusive integer index intervals of node rects over Hilbert space.
+
+    The single source of the floor/ceil-1 derivation (with clamps into the
+    curve's index range) shared by :meth:`PrivateHilbertRTree.node_bbox`,
+    :meth:`PrivateHilbertRTree.node_bboxes` and the flat planar engine
+    compiler — the planar boxes served, listed and compiled must all come
+    from identical intervals.
+    """
+    lo_idx = np.clip(np.floor(np.asarray(lo_vals, dtype=float)).astype(np.int64),
+                     0, curve.max_index)
+    hi_idx = np.ceil(np.asarray(hi_vals, dtype=float)).astype(np.int64) - 1
+    hi_idx = np.maximum(lo_idx, np.minimum(hi_idx, curve.max_index))
+    return lo_idx, hi_idx
 
 
 @dataclass
@@ -136,11 +248,9 @@ class PrivateHilbertRTree:
         cached = self._bbox_cache.get(key)
         if cached is not None:
             return cached
-        lo = int(np.floor(node.rect.lo[0]))
-        hi = int(np.ceil(node.rect.hi[0])) - 1
-        lo = max(0, min(lo, self.curve.max_index))
-        hi = max(lo, min(hi, self.curve.max_index))
-        bbox = self.curve.range_bbox(lo, hi)
+        lo_idx, hi_idx = hilbert_interval_bounds(node.rect.lo[:1], node.rect.hi[:1],
+                                                 self.curve)
+        bbox = self.curve.range_bbox(int(lo_idx[0]), int(hi_idx[0]))
         self._bbox_cache[key] = bbox
         return bbox
 
@@ -196,16 +306,26 @@ class PrivateHilbertRTree:
         """The planar bounding boxes of every node's Hilbert interval.
 
         These are the R-tree rectangles the paper describes releasing; they
-        depend only on the intervals, never on the data.
+        depend only on the intervals, never on the data.  The boxes come from
+        **one** vectorized :meth:`~repro.geometry.hilbert.HilbertCurve.range_bboxes`
+        pass over the node interval arrays — a flat-native tree never
+        materialises pointer nodes for this.
         """
-        boxes = []
-        for node in self.psd.nodes():
-            lo = int(node.rect.lo[0])
-            hi = int(min(node.rect.hi[0], self.curve.max_index + 1)) - 1
-            if hi < lo:
-                hi = lo
-            boxes.append((node.level, self.curve.range_bbox(lo, hi)))
-        return boxes
+        flat = self.psd.flat_tree
+        if flat is not None:
+            levels = flat.level
+            lo_vals, hi_vals = flat.lo[:, 0], flat.hi[:, 0]
+        else:
+            from .flatbuild import bfs_order
+
+            nodes = bfs_order(self.psd.root)  # the canonical (BFS) node order
+            levels = np.array([node.level for node in nodes], dtype=np.int64)
+            lo_vals = np.array([node.rect.lo[0] for node in nodes])
+            hi_vals = np.array([node.rect.hi[0] for node in nodes])
+        lo_idx, hi_idx = hilbert_interval_bounds(lo_vals, hi_vals, self.curve)
+        box_lo, box_hi = self.curve.range_bboxes(lo_idx, hi_idx)
+        return [(int(level), Rect(tuple(b_lo), tuple(b_hi)))
+                for level, b_lo, b_hi in zip(levels, box_lo, box_hi)]
 
 
 def build_private_hilbert_rtree(

@@ -22,7 +22,7 @@ accepts the pruning threshold used in the experiments (``m = 32``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 import numpy as np
@@ -74,6 +74,7 @@ def build_private_kdtree(
     count_fraction: Optional[float] = None,
     cell_resolution: int = 256,
     cell_budget_fraction: float = 0.3,
+    median_method: Optional[str] = None,
     rng: RngLike = None,
     layout: str = "flat",
 ) -> PrivateSpatialDecomposition:
@@ -87,6 +88,12 @@ def build_private_kdtree(
         For the hybrid tree, how many of the top levels are data dependent
         (the paper's ``l``); defaults to half the height, which Section 8.2
         found to be the sweet spot.
+    median_method:
+        Override the variant's private-median method (a
+        :data:`repro.privacy.MEDIAN_METHODS` label); the benchmark's
+        ``--median-method`` axis uses this to sweep EM/SS/cell/NM over one
+        tree shape.  Ignored by the cell-based variant, whose structure comes
+        from the noisy grid.
     count_fraction:
         Fraction of the budget given to counts (default 0.7 for private-median
         variants, 1.0 for the exact-median baselines).
@@ -107,6 +114,8 @@ def build_private_kdtree(
         if key not in KDTREE_VARIANTS:
             raise KeyError(f"unknown kd-tree variant {variant!r}; available: {sorted(KDTREE_VARIANTS)}")
         config = KDTREE_VARIANTS[key]
+    if median_method is not None and not config.cell_based:
+        config = replace(config, median_method=str(median_method).lower())
     gen = ensure_rng(rng)
     fraction = config.count_fraction if count_fraction is None else count_fraction
 

@@ -37,7 +37,12 @@ import numpy as np
 from ..geometry.domain import Domain
 from ..geometry.rect import Rect, domain_aware_mask
 from ..index.grid import NoisyGrid
-from ..privacy.median import MedianMethod, resolve_median_method, true_median
+from ..privacy.median import (
+    MedianMethod,
+    resolve_median_method,
+    true_median,
+    true_median_batch,
+)
 from ..privacy.rng import RngLike, ensure_rng
 
 __all__ = [
@@ -56,10 +61,38 @@ __all__ = [
 SplitResult = Tuple[Rect, np.ndarray]
 
 #: One whole level split in a single vectorized call: ``(child_lo, child_hi,
-#: child_of_point)`` where the bound arrays have ``n_nodes * fanout`` rows
-#: (children of node ``j`` at rows ``j*fanout .. (j+1)*fanout - 1``) and
-#: ``child_of_point[p]`` is the global child index point ``p`` routes to.
-LevelSplit = Tuple[np.ndarray, np.ndarray, np.ndarray]
+#: child_of_point, points)`` where the bound arrays have ``n_nodes * fanout``
+#: rows (children of node ``j`` at rows ``j*fanout .. (j+1)*fanout - 1``),
+#: ``points`` is the level's point array — normally the input, but a point the
+#: reference path routes to *two* children (a split landing exactly on it at
+#: the domain's closed upper face) appears twice — and ``child_of_point[p]``
+#: is the global child index ``points[p]`` routes to.
+LevelSplit = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def _segment_sorted_order(values: np.ndarray, seg: np.ndarray,
+                          offsets: np.ndarray) -> Optional[np.ndarray]:
+    """The order sorting ``values`` within the segments of ``seg``.
+
+    ``seg`` must be non-decreasing with segment boundaries at ``offsets``.
+    Returns ``None`` when the values are already sorted within every segment —
+    the level-batched builders hand each level's points back sorted by
+    ``(child, value)``, so after the first data-dependent level this O(n)
+    check replaces an O(n log n) sort.
+    """
+    n = values.shape[0]
+    if n > 1:
+        diffs = np.diff(values)
+        within = np.ones(n - 1, dtype=bool)
+        boundary = offsets[1:-1]
+        boundary = boundary[(boundary > 0) & (boundary < n)]
+        within[boundary - 1] = False
+        if not np.any(diffs[within] < 0):
+            return None
+    elif n <= 1:
+        return None
+    by_value = np.argsort(values)  # stability irrelevant: equal floats are identical
+    return by_value[np.argsort(seg[by_value], kind="stable")]
 
 
 def _partition(rect_list: List[Rect], points: np.ndarray, domain: Domain) -> List[SplitResult]:
@@ -154,15 +187,15 @@ class QuadSplit(SplitRule):
 
         Child ordering and point routing replicate ``quad_children`` +
         ``domain_aware_mask`` exactly: bit ``k`` of the child code is set when
-        the point lies at or above the node's midpoint on axis ``k``.  The one
-        case where the mask semantics could differ — a midpoint so close to
-        the domain's upper face that the low child's boundary would be treated
-        as closed — bails out to the per-node path.
+        the point lies at or above the node's midpoint on axis ``k``.  When a
+        midpoint is close enough to the domain's upper face that the low
+        child's boundary counts as closed, a point lying exactly on it belongs
+        to *both* children (the reference's domain-edge semantics) — such
+        points are emitted once per matching child via an axis-doubling
+        expansion instead of falling back to the per-node path.
         """
         mid = (lo + hi) / 2.0
         domain_hi = np.asarray(domain.rect.hi, dtype=float)
-        if np.any(np.isclose(mid, domain_hi)):
-            return None
         n_nodes, dims = lo.shape
         n_child = 1 << dims
 
@@ -179,18 +212,42 @@ class QuadSplit(SplitRule):
             child_lo[:, code, :] = code_lo
             child_hi[:, code, :] = code_hi
 
+        out_points = points
         if points.shape[0]:
-            high = points >= mid[point_node]
-            code = np.zeros(points.shape[0], dtype=np.int64)
-            for axis in range(dims):
-                code |= high[:, axis].astype(np.int64) << axis
-            child_of_point = point_node * n_child + code
+            closed = np.isclose(mid, domain_hi)  # (n_nodes, dims) closed low-child faces
+            if np.any(closed):
+                idx = np.arange(points.shape[0], dtype=np.int64)
+                code = np.zeros(points.shape[0], dtype=np.int64)
+                for axis in range(dims):
+                    node_of = point_node[idx]
+                    x = points[idx, axis]
+                    mid_ax = mid[node_of, axis]
+                    high_bit = (x >= mid_ax).astype(np.int64) << axis
+                    dup = closed[node_of, axis] & (x == mid_ax)
+                    if np.any(dup):
+                        # a point exactly on a closed midpoint face goes low
+                        # *and* high on this axis: keep the original low and
+                        # append a high copy
+                        code_low = code | np.where(dup, 0, high_bit)
+                        idx = np.concatenate([idx, idx[dup]])
+                        code = np.concatenate([code_low, code[dup] | (1 << axis)])
+                    else:
+                        code = code | high_bit
+                child_of_point = point_node[idx] * n_child + code
+                out_points = points[idx]
+            else:
+                high = points >= mid[point_node]
+                code = np.zeros(points.shape[0], dtype=np.int64)
+                for axis in range(dims):
+                    code |= high[:, axis].astype(np.int64) << axis
+                child_of_point = point_node * n_child + code
         else:
             child_of_point = np.empty(0, dtype=np.int64)
         return (
             child_lo.reshape(n_nodes * n_child, dims),
             child_hi.reshape(n_nodes * n_child, dims),
             child_of_point,
+            out_points,
         )
 
 
@@ -245,6 +302,191 @@ class KDSplit(SplitRule):
             children.extend(_partition([lo_rect, hi_rect], half_points, domain))
         return children
 
+    def split_level(self, lo, hi, points, point_node, level, height, domain,
+                    epsilon_median, rng=None):
+        """Split a whole level with one batched private median per stage.
+
+        The level's entire randomness is drawn as **one** ``Generator.random``
+        vector laid out node-major — per node: stage-A draws, then the two
+        stage-B draws (low half first) — which is exactly the stream the
+        per-node reference consumes, so the two paths stay bit-for-bit
+        interchangeable (see the draw-order contract in
+        :mod:`repro.privacy.median`).  Stage B's budget domain on ``axis_b``
+        is the parent's interval (unchanged by the stage-A cut), so the whole
+        layout is known before any draw happens.
+
+        Returns ``None`` (per-node fallback) only for a custom median callable
+        without a batch form, for degenerate axis setups, or for a sampled
+        method when points hug the domain's top face (where a split landing
+        exactly on a point would shift the one-draw-per-value layout
+        mid-stream).
+        """
+        method = resolve_median_method(self.median_method)
+        batch = getattr(method, "batch", None)
+        dims = lo.shape[1]
+        axis_a = self.first_axis % dims
+        axis_b = (self.first_axis + 1) % dims
+        if axis_a == axis_b:
+            return None  # stage B's domain would depend on stage A's cut
+        k = lo.shape[0]
+        method_is_private = method is not true_median
+        eps_stage = epsilon_median / 2.0 if method_is_private else 0.0
+        needs_draws = method_is_private and eps_stage > 0
+        draws_per_call = getattr(method, "draws_per_call", None)
+        if needs_draws and (batch is None or draws_per_call is None):
+            return None
+
+        pts = np.asarray(points, dtype=float)
+        seg = np.asarray(point_node, dtype=np.int64)
+        n_pts = pts.shape[0]
+        dom_hi = np.asarray(domain.rect.hi, dtype=float)
+        draws_per_value = int(getattr(method, "draws_per_value", 0)) if needs_draws else 0
+        if draws_per_value not in (0, 1):
+            return None  # the level draw layout below assumes one draw per value
+        if draws_per_value and n_pts and np.any(
+                np.isclose(pts[:, axis_a], dom_hi[axis_a])
+                | np.isclose(pts[:, axis_b], dom_hi[axis_b])):
+            # A split landing exactly on one of these points would be routed to
+            # both children by the reference path, shifting this method's
+            # one-draw-per-value layout mid-level; bail out before consuming
+            # any randomness so the fallback sees an untouched stream.
+            return None
+
+        gen = ensure_rng(rng)
+        counts_node = (np.bincount(seg, minlength=k).astype(np.int64)
+                       if n_pts else np.zeros(k, dtype=np.int64))
+        d = int(draws_per_call) if needs_draws else 0
+
+        u_level = node_base = None
+        if needs_draws:
+            if draws_per_value == 0:
+                u_level = gen.random(3 * d * k).reshape(k, 3, d)
+            else:
+                per_node = 2 * draws_per_value * counts_node + 3 * d
+                node_base = np.concatenate(([0], np.cumsum(per_node)))
+                u_level = gen.random(int(node_base[-1]))
+
+        def run_batch(sorted_vals, offs, seg_lo, seg_hi, uniforms):
+            if not method_is_private:
+                return np.asarray(true_median_batch(sorted_vals, offs, 1.0, seg_lo, seg_hi,
+                                                    validate=False))
+            if not needs_draws:
+                # No budget left for these splits: the data-independent (and
+                # therefore free) midpoint, as in the scalar ``_median``.
+                return (seg_lo + seg_hi) / 2.0
+            eps_vec = np.full(offs.size - 1, eps_stage)
+            return np.asarray(batch(sorted_vals, offs, eps_vec, seg_lo, seg_hi,
+                                    uniforms=uniforms, validate=False))
+
+        # ---- stage A: one private median per node along axis_a.  The points
+        # usually arrive sorted by (node, axis_a) — this rule hands them back
+        # that way — so the sort is an O(n) check after the first level.
+        vals_a = pts[:, axis_a] if n_pts else np.empty(0)
+        offs_a = np.concatenate(([0], np.cumsum(counts_node)))
+        order_a = _segment_sorted_order(vals_a, seg, offs_a)
+        lo_a, hi_a = lo[:, axis_a], hi[:, axis_a]
+        uni_a = None
+        if needs_draws:
+            if draws_per_value == 0:
+                uni_a = u_level[:, 0, :]
+            else:
+                seg_sorted = np.repeat(np.arange(k, dtype=np.int64), counts_node)
+                rank = np.arange(n_pts, dtype=np.int64) - offs_a[:-1][seg_sorted]
+                mask_u = u_level[node_base[seg_sorted] + rank]
+                em_u = u_level[(node_base[:-1] + counts_node)[:, None]
+                               + np.arange(d)[None, :]]
+                uni_a = (mask_u, em_u)
+        sorted_a = vals_a if order_a is None else vals_a[order_a]
+        split_a = run_batch(sorted_a, offs_a, lo_a, hi_a, uni_a)
+        split_a = np.minimum(np.maximum(split_a, lo_a), hi_a)  # Rect.split_at clamp
+
+        duplicated = False
+        if n_pts:
+            at_split = pts[:, axis_a] == split_a[seg]
+            dup_a = np.isclose(split_a, dom_hi[axis_a])[seg] & at_split
+            side_a = (pts[:, axis_a] >= split_a[seg]).astype(np.int64)
+            if np.any(dup_a):
+                # The reference's domain-closed upper face routes these points
+                # to both halves: original to the low child, a copy to the high.
+                duplicated = True
+                side_a[dup_a] = 0
+                pts = np.concatenate([pts, pts[dup_a]], axis=0)
+                seg = np.concatenate([seg, seg[dup_a]])
+                side_a = np.concatenate(
+                    [side_a, np.ones(int(np.count_nonzero(dup_a)), dtype=np.int64)])
+                n_pts = pts.shape[0]
+        else:
+            side_a = np.empty(0, dtype=np.int64)
+
+        # ---- stage B: one private median per half along axis_b (low, then high)
+        half = seg * 2 + side_a
+        vals_b = pts[:, axis_b] if n_pts else np.empty(0)
+        if n_pts:
+            order_b = np.argsort(vals_b)  # equal floats are identical: no stability needed
+            order_b = order_b[np.argsort(half[order_b], kind="stable")]
+        else:
+            order_b = np.empty(0, dtype=np.int64)
+        counts_b = (np.bincount(half, minlength=2 * k).astype(np.int64)
+                    if n_pts else np.zeros(2 * k, dtype=np.int64))
+        offs_b = np.concatenate(([0], np.cumsum(counts_b)))
+        lo_b = np.repeat(lo[:, axis_b], 2)
+        hi_b = np.repeat(hi[:, axis_b], 2)
+        uni_b = None
+        if needs_draws:
+            if draws_per_value == 0:
+                uni_b = u_level[:, 1:, :].reshape(2 * k, d)
+            else:
+                b_start = np.empty(2 * k, dtype=np.int64)
+                b_start[0::2] = node_base[:-1] + counts_node + d
+                b_start[1::2] = b_start[0::2] + counts_b[0::2] + d
+                seg_sorted = np.repeat(np.arange(2 * k, dtype=np.int64), counts_b)
+                rank = np.arange(n_pts, dtype=np.int64) - offs_b[:-1][seg_sorted]
+                mask_u = u_level[b_start[seg_sorted] + rank]
+                em_u = u_level[(b_start + counts_b)[:, None] + np.arange(d)[None, :]]
+                uni_b = (mask_u, em_u)
+        split_b = run_batch(vals_b[order_b], offs_b, lo_b, hi_b, uni_b)
+        split_b = np.minimum(np.maximum(split_b, lo_b), hi_b)
+
+        if n_pts:
+            at_split = pts[:, axis_b] == split_b[half]
+            dup_b = np.isclose(split_b, dom_hi[axis_b])[half] & at_split
+            side_b = (pts[:, axis_b] >= split_b[half]).astype(np.int64)
+            if np.any(dup_b):
+                duplicated = True
+                side_b[dup_b] = 0
+                pts = np.concatenate([pts, pts[dup_b]], axis=0)
+                seg = np.concatenate([seg, seg[dup_b]])
+                side_a = np.concatenate([side_a, side_a[dup_b]])
+                side_b = np.concatenate(
+                    [side_b, np.ones(int(np.count_nonzero(dup_b)), dtype=np.int64)])
+        else:
+            side_b = np.empty(0, dtype=np.int64)
+
+        # ---- assemble the fanout-4 children in the scalar order:
+        # (lowA, lowB), (lowA, highB), (highA, lowB), (highA, highB)
+        child_lo = np.repeat(lo[:, None, :], 4, axis=1).astype(float)
+        child_hi = np.repeat(hi[:, None, :], 4, axis=1).astype(float)
+        child_hi[:, 0, axis_a] = split_a
+        child_hi[:, 1, axis_a] = split_a
+        child_lo[:, 2, axis_a] = split_a
+        child_lo[:, 3, axis_a] = split_a
+        split_b2 = split_b.reshape(k, 2)
+        child_hi[:, 0, axis_b] = split_b2[:, 0]
+        child_lo[:, 1, axis_b] = split_b2[:, 0]
+        child_hi[:, 2, axis_b] = split_b2[:, 1]
+        child_lo[:, 3, axis_b] = split_b2[:, 1]
+        child_of_point = seg * 4 + side_a * 2 + side_b
+        if n_pts and not duplicated:
+            # Hand the level back sorted by (child, axis_a): refining the
+            # stage-A order by child is a cheap stable integer sort, and it
+            # lets the next level's stage A skip its value sort entirely.
+            base = np.arange(n_pts, dtype=np.int64) if order_a is None else order_a
+            ret = base[np.argsort(child_of_point[base], kind="stable")]
+            child_of_point = child_of_point[ret]
+            pts = pts[ret]
+        return (child_lo.reshape(k * 4, dims), child_hi.reshape(k * 4, dims),
+                child_of_point, pts)
+
 
 @dataclass(frozen=True)
 class HybridSplit(SplitRule):
@@ -279,9 +521,12 @@ class HybridSplit(SplitRule):
 
     def split_level(self, lo, hi, points, point_node, level, height, domain,
                     epsilon_median, rng=None):
-        """Vectorize the data-independent (quadtree) levels below the switch."""
+        """Vectorize both regimes: batched kd medians above the switch level,
+        midpoint quadtree splits below it."""
         if self.is_data_dependent(level, height):
-            return None
+            return KDSplit(median_method=self.median_method).split_level(
+                lo, hi, points, point_node, level, height, domain,
+                epsilon_median, rng=rng)
         return QuadSplit().split_level(lo, hi, points, point_node, level, height,
                                        domain, 0.0, rng=rng)
 

@@ -126,6 +126,16 @@ class CachedEngine:
         self.ndigits = int(ndigits)
         self.cache = QueryCache(maxsize=maxsize)
 
+    @property
+    def hits(self) -> int:
+        """Lifetime cache hits (mirrors ``QueryCache.hits``)."""
+        return self.cache.hits
+
+    @property
+    def misses(self) -> int:
+        """Lifetime cache misses (mirrors ``QueryCache.misses``)."""
+        return self.cache.misses
+
     # ------------------------------------------------------------------
     def _normalise(self, queries: Union[Iterable[QueryInput], np.ndarray]) -> _Normalised:
         qlo, qhi = queries_to_arrays(queries, self.engine.dims)

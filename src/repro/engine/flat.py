@@ -237,6 +237,21 @@ def compile_psd(psd: "PrivateSpatialDecomposition") -> FlatPSD:
     return _compile(psd, lambda node: node.rect, psd.domain, psd.name)
 
 
+def _released_from_flat_tree(tree, eps: np.ndarray):
+    """The released counts and usability mask of a flat build-side tree.
+
+    Same predicate as ``_has_released_count``: post-processed counts are
+    always usable, raw noisy counts only where the level released one.
+    """
+    if tree.post_count is not None:
+        released = tree.post_count.astype(np.float64, copy=True)
+        has_count = np.ones(tree.n_nodes, dtype=bool)
+    else:
+        has_count = (eps[tree.level] > 0) & np.isfinite(tree.noisy_count)
+        released = np.where(has_count, tree.noisy_count, 0.0)
+    return released, has_count
+
+
 def _compile_from_flat_tree(tree, psd: "PrivateSpatialDecomposition") -> FlatPSD:
     """Snapshot a flat-native build-side tree into the frozen engine form.
 
@@ -246,12 +261,7 @@ def _compile_from_flat_tree(tree, psd: "PrivateSpatialDecomposition") -> FlatPSD
     never alias into a released engine.
     """
     eps = np.asarray(psd.count_epsilons, dtype=np.float64)
-    if tree.post_count is not None:
-        released = tree.post_count.astype(np.float64, copy=True)
-        has_count = np.ones(tree.n_nodes, dtype=bool)
-    else:
-        has_count = (eps[tree.level] > 0) & np.isfinite(tree.noisy_count)
-        released = np.where(has_count, tree.noisy_count, 0.0)
+    released, has_count = _released_from_flat_tree(tree, eps)
     lo = tree.lo.astype(np.float64, copy=True)
     hi = tree.hi.astype(np.float64, copy=True)
     return FlatPSD(
@@ -284,8 +294,48 @@ def compile_hilbert_rtree(tree) -> FlatPSD:
     semantics as :meth:`~repro.core.hilbert_rtree.PrivateHilbertRTree.range_query`.
     Unlike the other tree families, sibling boxes may overlap; the evaluator
     never assumes disjointness, so nothing changes.
+
+    A **flat-native** 1-D tree compiles without materialising pointer nodes:
+    the interval bounds come straight from the BFS arrays and all bounding
+    boxes are produced by one vectorised
+    :meth:`~repro.geometry.hilbert.HilbertCurve.range_bboxes` pass — bitwise
+    identical to the per-node ``node_bbox`` walk, at a fraction of the cost.
     """
+    flat = getattr(tree.psd, "flat_tree", None)
+    if flat is not None:
+        return _compile_planar_from_flat_tree(flat, tree)
     return _compile(tree.psd, tree.node_bbox, tree.domain, tree.name)
+
+
+def _compile_planar_from_flat_tree(ft, tree) -> FlatPSD:
+    """Planar Hilbert engine straight from the flat 1-D arrays (no node walk)."""
+    from ..core.hilbert_rtree import hilbert_interval_bounds
+
+    curve = tree.curve
+    psd = tree.psd
+    lo_idx, hi_idx = hilbert_interval_bounds(ft.lo[:, 0], ft.hi[:, 0], curve)
+    lo, hi = curve.range_bboxes(lo_idx, hi_idx)
+    eps = np.asarray(psd.count_epsilons, dtype=np.float64)
+    released, has_count = _released_from_flat_tree(ft, eps)
+    return FlatPSD(
+        lo=_freeze(lo),
+        hi=_freeze(hi),
+        level=_freeze(ft.level.astype(np.int32, copy=True)),
+        released=_freeze(released),
+        has_count=_freeze(has_count),
+        is_leaf=_freeze(ft.is_leaf.copy()),
+        child_start=_freeze(ft.child_start.astype(np.int64, copy=True)),
+        child_end=_freeze(ft.child_end.astype(np.int64, copy=True)),
+        area=_freeze(np.prod(hi - lo, axis=1)),
+        count_epsilons=_freeze(eps),
+        level_variance=_freeze(level_variances(eps)),
+        height=psd.height,
+        fanout=psd.fanout,
+        name=tree.name,
+        domain_lo=_freeze(np.asarray(tree.domain.rect.lo, dtype=np.float64)),
+        domain_hi=_freeze(np.asarray(tree.domain.rect.hi, dtype=np.float64)),
+        domain_name=tree.domain.name,
+    )
 
 
 def _compile(psd: "PrivateSpatialDecomposition", rect_of, domain, name: str) -> FlatPSD:

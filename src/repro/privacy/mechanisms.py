@@ -29,6 +29,7 @@ from .sensitivity import COUNT_SENSITIVITY
 
 __all__ = [
     "laplace_noise",
+    "laplace_from_uniform",
     "laplace_mechanism",
     "laplace_variance",
     "geometric_mechanism",
@@ -53,6 +54,25 @@ def laplace_noise(scale: float, size=None, rng: RngLike = None) -> np.ndarray | 
         return np.zeros(size) if size is not None else 0.0
     noise = gen.laplace(loc=0.0, scale=scale, size=size)
     return noise
+
+
+def laplace_from_uniform(uniforms, scale: float = 1.0):
+    """Standard Laplace noise derived from ``U[0, 1)`` draws by inverse CDF.
+
+    ``u < 1/2`` maps to ``log(2u)`` and ``u >= 1/2`` to ``-log(2 - 2u)`` — the
+    same transform NumPy's own sampler applies.  The private-median mechanisms
+    use this instead of :func:`laplace_noise` so that *every* draw they make
+    is a plain ``Generator.random()`` uniform: a batched mechanism can then
+    reproduce a sequence of per-node scalar calls bit for bit by slicing one
+    flat uniform vector (the BFS draw-order contract of
+    :mod:`repro.privacy.median`).  A ``u`` of exactly 0 is floored at the
+    smallest positive double rather than mapping to ``-inf``.
+    """
+    u = np.asarray(uniforms, dtype=float)
+    tiny = np.finfo(float).tiny
+    low = np.log(np.maximum(2.0 * u, tiny))
+    high = -np.log(np.maximum(2.0 - 2.0 * u, tiny))
+    return scale * np.where(u < 0.5, low, high)
 
 
 def laplace_mechanism(
