@@ -1,0 +1,269 @@
+"""Sweep throughput: the multi-release pipeline vs the sequential loop.
+
+Not a paper figure — this benchmark tracks the ROADMAP's "fast as the
+hardware allows" goal for the *experiment* layer: the paper's whole
+evaluation (Figs 2–7) is a sweep that builds one noisy release per
+(epsilon, variant, repetition) grid point and scores it on fixed query
+workloads.  For a Figure-3-shaped grid (quadtree variants x budgets x
+repetitions, four query shapes) it runs the identical evaluation two ways:
+
+* **sequential** — the historical loop: one ``build_private_quadtree`` per
+  release, one engine compile per release, one batched workload evaluation
+  per (release, workload);
+* **sweep** — the release pipeline: per variant, one shared structure, all
+  count noise drawn as release-major batches
+  (:func:`repro.core.quadtree.build_private_quadtree_releases`), OLS with a
+  release axis, and per workload **one** sparse query-to-node matrix whose
+  single ``S @ counts`` product answers every release at once.
+
+The two paths are bitwise interchangeable — release ``r`` of the batch equals
+the ``r``-th sequential build (noisy counts, post-processed counts, final RNG
+state) and the matrix estimates match the per-release engine answers to
+1e-9 — and the benchmark *asserts* that parity before reporting any speedup.
+
+Runnable three ways:
+
+* ``pytest benchmarks/bench_sweep_throughput.py`` — benchmark row plus a
+  table under ``benchmarks/results/``;
+* ``python benchmarks/bench_sweep_throughput.py --output BENCH_sweep.json``
+  — standalone, writing the series as JSON so the repo tracks the sweep
+  throughput trajectory across PRs (target: >= 10x at repetitions >= 8);
+* ``python benchmarks/bench_sweep_throughput.py --smoke`` — a fast parity +
+  regression gate for CI: tiny inputs, exits non-zero if parity breaks or if
+  the sweep pipeline comes out slower than the sequential loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.quadtree import QUADTREE_VARIANTS, build_private_quadtree, \
+    build_private_quadtree_releases
+from repro.data import road_intersections
+from repro.engine.batch import batch_range_query, compile_query_matrix
+from repro.geometry import TIGER_DOMAIN
+from repro.queries.metrics import median_relative_error
+from repro.queries.workload import PAPER_QUERY_SHAPES, generate_workload
+
+
+def make_inputs(n_points: int, n_queries: int, seed: int = 0):
+    """The fig3-shaped dataset and the four paper workloads."""
+    gen = np.random.default_rng(seed)
+    points = road_intersections(n=n_points, rng=gen)
+    workloads = {
+        shape.label: generate_workload(points, TIGER_DOMAIN, shape,
+                                       n_queries=n_queries, rng=gen)
+        for shape in PAPER_QUERY_SHAPES
+    }
+    return points, workloads
+
+
+def run_sequential(points, workloads, height, epsilons, repetitions,
+                   variants, seed) -> Dict[str, Dict[str, np.ndarray]]:
+    """The historical per-release loop (build, compile, evaluate each alone)."""
+    out: Dict[str, Dict[str, np.ndarray]] = {}
+    for variant in variants:
+        gen = np.random.default_rng(seed)
+        per_label = {label: [] for label in workloads}
+        for epsilon in epsilons:
+            for _ in range(repetitions):
+                psd = build_private_quadtree(points, TIGER_DOMAIN, height=height,
+                                             epsilon=epsilon, variant=variant, rng=gen)
+                engine = psd.compile()
+                for label, workload in workloads.items():
+                    estimates = batch_range_query(engine, workload.queries)
+                    per_label[label].append(
+                        median_relative_error(estimates, workload.true_answers))
+        out[variant] = {label: np.asarray(errs) for label, errs in per_label.items()}
+    return out
+
+
+def run_sweep_pipeline(points, workloads, height, epsilons, repetitions,
+                       variants, seed) -> Dict[str, Dict[str, np.ndarray]]:
+    """The release pipeline: batched builds plus one query matrix per workload.
+
+    The matrix cache is shared across variants — all four quadtree variants
+    decompose queries identically (same geometry, every level funded), so the
+    whole sweep compiles each workload's matrix exactly once.
+    """
+    from repro.core.flatbuild import build_flat_structure
+    from repro.core.splits import QuadSplit
+    from repro.experiments.common import release_workload_errors
+
+    out: Dict[str, Dict[str, np.ndarray]] = {}
+    matrix_cache: Dict = {}
+    # One geometry for the whole grid: quadtree structure is data independent
+    # and draw-free, so sharing it across variants changes no release bits.
+    structure = build_flat_structure(points, TIGER_DOMAIN, height, QuadSplit(), 0.0)
+    for variant in variants:
+        gen = np.random.default_rng(seed)
+        batch = build_private_quadtree_releases(
+            points, TIGER_DOMAIN, height=height, epsilons=epsilons,
+            repetitions=repetitions, variant=variant, rng=gen,
+            structure=structure)
+        out[variant] = release_workload_errors(batch, workloads,
+                                               matrix_cache=matrix_cache)
+    return out
+
+
+def assert_release_parity(points, workloads, height, epsilons, repetitions,
+                          variant, seed) -> float:
+    """Bitwise release parity plus <= 1e-9 estimate parity; returns max diff."""
+    gen_seq = np.random.default_rng(seed)
+    gen_sweep = np.random.default_rng(seed)
+    batch = build_private_quadtree_releases(
+        points, TIGER_DOMAIN, height=height, epsilons=epsilons,
+        repetitions=repetitions, variant=variant, rng=gen_sweep)
+    engine = batch.query_engine()
+    counts = batch.released_matrix()
+    matrices = {label: compile_query_matrix(engine, wl.queries)
+                for label, wl in workloads.items()}
+    worst = 0.0
+    r = 0
+    for epsilon in epsilons:
+        for _ in range(repetitions):
+            ref = build_private_quadtree(points, TIGER_DOMAIN, height=height,
+                                         epsilon=epsilon, variant=variant, rng=gen_seq)
+            ref_flat, got_flat = ref.flat_tree, batch.release(r).flat_tree
+            if not np.array_equal(ref_flat.noisy_count, got_flat.noisy_count,
+                                  equal_nan=True):
+                raise AssertionError(f"{variant} release {r}: noisy counts differ")
+            if (ref_flat.post_count is None) != (got_flat.post_count is None) or (
+                    ref_flat.post_count is not None
+                    and not np.array_equal(ref_flat.post_count, got_flat.post_count)):
+                raise AssertionError(f"{variant} release {r}: post counts differ")
+            ref_engine = ref.compile()
+            for label, workload in workloads.items():
+                ref_est = batch_range_query(ref_engine, workload.queries)
+                sweep_est = matrices[label].dot(counts)[:, r]
+                diff = float(np.max(np.abs(sweep_est - ref_est)
+                                    / np.maximum(1.0, np.abs(ref_est)))) \
+                    if ref_est.size else 0.0
+                if diff > 1e-9:
+                    raise AssertionError(
+                        f"{variant} release {r} workload {label}: estimates "
+                        f"diverge by {diff:.3e} (> 1e-9)")
+                worst = max(worst, diff)
+            r += 1
+    if gen_seq.bit_generator.state != gen_sweep.bit_generator.state:
+        raise AssertionError(f"{variant}: final RNG states differ")
+    return worst
+
+
+def run_benchmark(n_points: int, n_queries: int, height: int,
+                  epsilons: Sequence[float], repetitions: int,
+                  variants: Sequence[str], seed: int = 0,
+                  parity_variant: str = "quad-opt") -> Dict[str, object]:
+    points, workloads = make_inputs(n_points, n_queries, seed)
+    n_releases = len(epsilons) * repetitions
+
+    parity_diff = assert_release_parity(points, workloads, height, epsilons,
+                                        repetitions, parity_variant, seed)
+
+    start = time.perf_counter()
+    seq = run_sequential(points, workloads, height, epsilons, repetitions,
+                         variants, seed)
+    sequential_sec = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sweep = run_sweep_pipeline(points, workloads, height, epsilons, repetitions,
+                               variants, seed)
+    sweep_sec = time.perf_counter() - start
+
+    # The two paths must agree on every reported error (same releases, same
+    # decompositions — only float summation order differs).
+    for variant in variants:
+        for label in workloads:
+            if not np.allclose(seq[variant][label], sweep[variant][label],
+                               rtol=1e-9, atol=1e-12):
+                raise AssertionError(f"{variant}/{label}: sweep errors diverge "
+                                     "from the sequential loop")
+
+    return {
+        "n_points": n_points,
+        "n_queries_per_shape": n_queries,
+        "height": height,
+        "epsilons": list(epsilons),
+        "repetitions": repetitions,
+        "variants": list(variants),
+        "releases_per_variant": n_releases,
+        "total_releases": n_releases * len(variants),
+        "sequential_sec": round(sequential_sec, 4),
+        "sweep_sec": round(sweep_sec, 4),
+        "speedup": round(sequential_sec / sweep_sec, 2) if sweep_sec > 0 else float("inf"),
+        "parity_max_rel_diff": parity_diff,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI gate: parity plus sweep-not-slower check")
+    parser.add_argument("--n-points", type=int, default=None)
+    parser.add_argument("--n-queries", type=int, default=None)
+    parser.add_argument("--height", type=int, default=None)
+    parser.add_argument("--repetitions", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=None,
+                        help="write the result row as JSON (e.g. BENCH_sweep.json)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        defaults = dict(n_points=8_000, n_queries=12, height=5, repetitions=3)
+    else:
+        defaults = dict(n_points=60_000, n_queries=60, height=8, repetitions=8)
+    config = {key: getattr(args, key.replace("-", "_")) or value
+              for key, value in defaults.items()}
+
+    result = run_benchmark(
+        n_points=config["n_points"], n_queries=config["n_queries"],
+        height=config["height"], epsilons=(0.1, 0.5, 1.0),
+        repetitions=config["repetitions"],
+        variants=tuple(QUADTREE_VARIANTS), seed=args.seed)
+    result["mode"] = "smoke" if args.smoke else "full"
+
+    print(json.dumps(result, indent=2))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+
+    floor = 1.0 if args.smoke else 10.0
+    if result["speedup"] < floor:
+        print(f"FAIL: sweep speedup {result['speedup']}x below the "
+              f"{floor}x floor", file=sys.stderr)
+        return 1
+    print(f"OK: sweep pipeline {result['speedup']}x over the sequential loop "
+          f"({result['total_releases']} releases), parity exact")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point
+# ----------------------------------------------------------------------
+def test_sweep_throughput(benchmark, capsys):
+    from conftest import report
+
+    result = benchmark.pedantic(
+        lambda: run_benchmark(n_points=20_000, n_queries=30, height=7,
+                              epsilons=(0.1, 0.5, 1.0), repetitions=4,
+                              variants=("quad-baseline", "quad-opt")),
+        rounds=1,
+    )
+    report("bench_sweep_throughput", "Sweep pipeline vs sequential loop",
+           [result],
+           ["total_releases", "sequential_sec", "sweep_sec", "speedup",
+            "parity_max_rel_diff"],
+           capsys)
+    assert result["speedup"] >= 1.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

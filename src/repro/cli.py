@@ -11,8 +11,10 @@ Four sub-commands cover the life-cycle of a private release:
   engine) and answer rectangular range queries from it — one-off via
   ``--rect`` or in bulk via ``--queries-file``; ``--engine flat`` serves from
   the compiled backend (no access to the original data needed either way);
-* ``experiment`` — run one of the paper-figure experiments at a chosen scale
-  and print its series, the same code path the benchmark suite uses.
+* ``experiment`` — run one of the paper-figure experiments through the
+  multi-release sweep pipeline at a named scale (``smoke`` / ``default`` /
+  ``paper``) and print its series (optionally writing them as JSON), the same
+  code path the benchmark suite uses.
 
 Examples
 --------
@@ -23,6 +25,7 @@ Examples
     python -m repro.cli compile release.json --output engine.npz
     python -m repro.cli query release.json --rect=-123,46,-121,48
     python -m repro.cli query engine.npz --queries-file workload.txt
+    python -m repro.cli experiment --figure 3 --scale smoke --json fig3.json
     python -m repro.cli experiment fig3 --epsilons 0.5 --n-points 20000
 """
 
@@ -30,6 +33,8 @@ from __future__ import annotations
 
 import argparse
 import csv
+import dataclasses
+import json
 import sys
 import time
 from typing import List, Optional, Sequence
@@ -237,12 +242,57 @@ _EXPERIMENTS = {
 }
 
 
+#: Named scale presets of ``repro experiment --scale`` — ``paper`` restores the
+#: full-scale setup of Section 8 (1.63 M points, 600 queries per shape).
+_SCALES = {
+    "smoke": ExperimentScale.smoke,
+    "default": ExperimentScale,
+    "paper": ExperimentScale.paper,
+}
+
+#: ``--figure`` accepts the paper's figure numbers; 7 runs both panels.
+_FIGURE_NUMBERS = {
+    "2": ("fig2",), "3": ("fig3",), "4": ("fig4",), "5": ("fig5",),
+    "6": ("fig6",), "7": ("fig7a", "fig7b"), "7a": ("fig7a",), "7b": ("fig7b",),
+}
+
+
+def _resolve_scale(args) -> ExperimentScale:
+    scale = _SCALES[args.scale]()
+    overrides = {
+        field: getattr(args, field)
+        for field in ("n_points", "n_queries", "repetitions", "quad_height", "kd_height")
+        if getattr(args, field) is not None
+    }
+    return dataclasses.replace(scale, **overrides) if overrides else scale
+
+
 def _cmd_experiment(args) -> int:
-    scale = ExperimentScale(n_points=args.n_points, n_queries=args.n_queries,
-                            quad_height=args.quad_height, kd_height=args.kd_height)
-    runner = _EXPERIMENTS[args.figure]
-    rows, columns = runner(args, scale)
-    print(format_table(rows, columns, title=f"Experiment {args.figure}"))
+    if args.figure_number is not None and args.figure is not None:
+        raise SystemExit("give either a positional figure name or --figure, not both")
+    if args.figure_number is not None:
+        figures = _FIGURE_NUMBERS[args.figure_number]
+    elif args.figure is not None:
+        figures = (args.figure,)
+    else:
+        raise SystemExit("choose an experiment: positional name (e.g. fig3) or --figure 3")
+    scale = _resolve_scale(args)
+
+    results = []
+    for figure in figures:
+        rows, columns = _EXPERIMENTS[figure](args, scale)
+        print(format_table(rows, columns, title=f"Experiment {figure} ({args.scale} scale)"))
+        results.append({"figure": figure, "columns": list(columns), "rows": rows})
+    if args.json_out:
+        payload = {
+            "scale": {"name": args.scale, **dataclasses.asdict(scale)},
+            "seed": args.seed,
+            "figures": results,
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {sum(len(r['rows']) for r in results)} rows to {args.json_out}",
+              file=sys.stderr)
     return 0
 
 
@@ -292,12 +342,35 @@ def build_parser() -> argparse.ArgumentParser:
                             "flat engines only")
     query.set_defaults(func=_cmd_query)
 
-    experiment = sub.add_parser("experiment", help="run one of the paper-figure experiments")
-    experiment.add_argument("figure", choices=sorted(_EXPERIMENTS))
-    experiment.add_argument("--n-points", type=int, default=20_000)
-    experiment.add_argument("--n-queries", type=int, default=30)
-    experiment.add_argument("--quad-height", type=int, default=7)
-    experiment.add_argument("--kd-height", type=int, default=5)
+    experiment = sub.add_parser(
+        "experiment",
+        help="run paper-figure experiments through the sweep pipeline",
+        description="Run one of the paper-figure experiments at a chosen scale. "
+                    "Select the experiment by name (e.g. 'fig3') or paper figure "
+                    "number (--figure 3; --figure 7 runs both panels). "
+                    "--scale smoke|default|paper trades fidelity for runtime; "
+                    "explicit size flags override individual scale fields.",
+    )
+    experiment.add_argument("figure", nargs="?", choices=sorted(_EXPERIMENTS), default=None,
+                            help="experiment name (alternative to --figure)")
+    experiment.add_argument("--figure", dest="figure_number",
+                            choices=sorted(_FIGURE_NUMBERS), default=None,
+                            help="paper figure number (2..7, 7a, 7b); 7 runs both panels")
+    experiment.add_argument("--scale", choices=sorted(_SCALES), default="default",
+                            help="size preset: smoke (CI-sized), default, or the "
+                                 "paper's full-scale setup")
+    experiment.add_argument("--json", dest="json_out", default=None,
+                            help="also write the result rows (plus scale metadata) as JSON")
+    experiment.add_argument("--n-points", type=int, default=None,
+                            help="override the scale's dataset size")
+    experiment.add_argument("--n-queries", type=int, default=None,
+                            help="override the scale's queries per shape")
+    experiment.add_argument("--repetitions", type=int, default=None,
+                            help="override the scale's noisy releases per grid point")
+    experiment.add_argument("--quad-height", type=int, default=None,
+                            help="override the scale's quadtree height")
+    experiment.add_argument("--kd-height", type=int, default=None,
+                            help="override the scale's kd-tree height")
     experiment.add_argument("--epsilons", type=float, nargs="+", default=(0.5,))
     experiment.add_argument("--seed", type=int, default=0)
     experiment.set_defaults(func=_cmd_experiment)

@@ -11,7 +11,14 @@ from .budget import (
     resolve_budget,
     uniform_level_epsilons,
 )
-from .builder import BUILD_LAYOUTS, BudgetSplit, build_psd, populate_noisy_counts
+from .builder import (
+    BUILD_LAYOUTS,
+    BudgetSplit,
+    PSDReleaseBatch,
+    build_psd,
+    build_psd_releases,
+    populate_noisy_counts,
+)
 
 # NB: the raw flat-array mutators (apply_ols_flat, prune_flat, populate_
 # noisy_counts_flat) are deliberately NOT re-exported: they bypass the
@@ -27,13 +34,25 @@ from .flatbuild import (
 )
 from .hilbert_rtree import (
     BinaryMedianSplit,
+    HilbertRTreeReleases,
     PrivateHilbertRTree,
     build_private_hilbert_rtree,
+    build_private_hilbert_rtree_releases,
 )
-from .kdtree import KDTREE_VARIANTS, KDTreeConfig, build_private_kdtree
+from .kdtree import (
+    KDTREE_VARIANTS,
+    KDTreeConfig,
+    build_private_kdtree,
+    build_private_kdtree_releases,
+)
 from .postprocess import apply_ols, check_consistency, ols_estimate_tree
 from .pruning import count_pruned_nodes, prune_low_count_subtrees
-from .quadtree import QUADTREE_VARIANTS, QuadtreeConfig, build_private_quadtree
+from .quadtree import (
+    QUADTREE_VARIANTS,
+    QuadtreeConfig,
+    build_private_quadtree,
+    build_private_quadtree_releases,
+)
 from .query import (
     QUERY_BACKENDS,
     contributing_nodes,
@@ -62,6 +81,8 @@ __all__ = [
     "PSDNode",
     "PrivateSpatialDecomposition",
     "build_psd",
+    "build_psd_releases",
+    "PSDReleaseBatch",
     "populate_noisy_counts",
     "BUILD_LAYOUTS",
     "FlatTree",
@@ -97,12 +118,16 @@ __all__ = [
     "query_variance",
     "contributing_nodes",
     "build_private_quadtree",
+    "build_private_quadtree_releases",
     "QUADTREE_VARIANTS",
     "QuadtreeConfig",
     "build_private_kdtree",
+    "build_private_kdtree_releases",
     "KDTREE_VARIANTS",
     "KDTreeConfig",
     "build_private_hilbert_rtree",
+    "build_private_hilbert_rtree_releases",
+    "HilbertRTreeReleases",
     "PrivateHilbertRTree",
     "BinaryMedianSplit",
     "psd_to_dict",

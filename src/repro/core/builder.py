@@ -35,19 +35,26 @@ that, and the build benchmark measures the gap between them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..geometry.domain import Domain
 from ..privacy.accountant import PrivacyAccountant
 from ..privacy.mechanisms import laplace_noise
-from ..privacy.rng import RngLike, ensure_rng
+from ..privacy.rng import ReplayRng, RngLike, ensure_rng
 from .budget import BudgetStrategy, resolve_budget
 from .splits import SplitRule
 from .tree import PSDNode, PrivateSpatialDecomposition
 
-__all__ = ["BudgetSplit", "BUILD_LAYOUTS", "build_psd", "populate_noisy_counts"]
+__all__ = [
+    "BudgetSplit",
+    "BUILD_LAYOUTS",
+    "PSDReleaseBatch",
+    "build_psd",
+    "build_psd_releases",
+    "populate_noisy_counts",
+]
 
 #: The storage layouts accepted by ``build_psd``'s ``layout=`` parameter.
 BUILD_LAYOUTS = ("flat", "pointer")
@@ -280,3 +287,407 @@ def populate_noisy_counts(
             node.noisy_count = float("nan")
         node.post_count = None
     return psd
+
+
+# ----------------------------------------------------------------------
+# Multi-release sweeps: one structure pass, R noisy releases
+# ----------------------------------------------------------------------
+class PSDReleaseBatch:
+    """``R`` private releases of one PSD configuration, built as a batch.
+
+    Produced by :func:`build_psd_releases`.  Release ``r`` is **bitwise
+    identical** (structure, counts, final RNG state) to the ``r``-th build of
+    the equivalent sequential loop::
+
+        for epsilon in epsilons:
+            for _ in range(repetitions):
+                build_psd(..., epsilon=epsilon, rng=gen)
+
+    so a sweep can switch to the batched pipeline without changing a single
+    released number.  The batch stays in array form
+    (:class:`~repro.core.flatbuild.FlatTreeBatch`) as long as the public
+    methods are used; :meth:`release` materialises one release as an ordinary
+    :class:`PrivateSpatialDecomposition` on demand.
+
+    Post-processing applies the OLS estimator to all releases in one set of
+    per-level sweeps; pruning (whose cuts depend on each release's counts)
+    materialises per-release trees and prunes each.  The engine layer serves
+    batches with shared geometry (data-independent structures, unpruned)
+    through one sparse query-to-node matrix for *all* releases — see
+    :func:`repro.engine.batch.compile_query_matrix`.
+    """
+
+    def __init__(
+        self,
+        *,
+        domain: Domain,
+        height: int,
+        fanout: int,
+        name: str,
+        epsilons: np.ndarray,
+        count_epsilons: np.ndarray,
+        eps_median_per_level: np.ndarray,
+        dd_levels: Sequence[int],
+        structure_epsilon_charged: float = 0.0,
+        flat=None,
+        psds: Optional[List[PrivateSpatialDecomposition]] = None,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if (flat is None) == (psds is None):
+            raise ValueError("provide exactly one of flat= (batched arrays) or psds= (list)")
+        self.domain = domain
+        self.height = int(height)
+        self.fanout = int(fanout)
+        self.name = name
+        self.epsilons = np.asarray(epsilons, dtype=float)
+        self.count_epsilons = np.asarray(count_epsilons, dtype=float)
+        self._eps_median_per_level = np.asarray(eps_median_per_level, dtype=float)
+        self._dd_levels = tuple(dd_levels)
+        self._structure_epsilon = float(structure_epsilon_charged)
+        self._flat = flat
+        self._psds = psds
+        self.metadata: Dict[str, object] = {} if metadata is None else metadata
+        self._cache: Dict[int, PrivateSpatialDecomposition] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_releases(self) -> int:
+        return int(self.epsilons.shape[0])
+
+    @property
+    def flat_batch(self):
+        """The batched array form, or ``None`` once releases went per-tree."""
+        return self._flat
+
+    @property
+    def shared_geometry(self) -> bool:
+        """Whether every release shares one set of node rectangles."""
+        return self._flat is not None and self._flat.shared_geometry
+
+    def release_pattern(self) -> Optional[np.ndarray]:
+        """The shared per-level "count released?" mask, or ``None`` if mixed.
+
+        The query decomposition of a release depends on which levels carry
+        usable counts; sharing one query matrix across releases requires this
+        pattern to be uniform.  Post-processed releases always carry counts
+        everywhere.
+        """
+        if self._flat is None:
+            return None
+        if self._flat.post_count is not None:
+            return np.ones(self.height + 1, dtype=bool)
+        funded = self.count_epsilons > 0
+        if not np.all(funded == funded[0:1]):
+            return None
+        return funded[0]
+
+    def supports_shared_queries(self) -> bool:
+        """Whether one query-to-node matrix serves every release."""
+        return self.shared_geometry and self.release_pattern() is not None
+
+    # ------------------------------------------------------------------
+    def release(self, r: int) -> PrivateSpatialDecomposition:
+        """Release ``r`` as a standalone (cached) PSD."""
+        if self._psds is not None:
+            return self._psds[r]
+        cached = self._cache.get(r)
+        if cached is not None:
+            return cached
+        psd = PrivateSpatialDecomposition(
+            domain=self.domain,
+            height=self.height,
+            fanout=self.fanout,
+            count_epsilons=self.count_epsilons[r],
+            accountant=self._make_accountant(r),
+            name=self.name,
+            metadata=dict(self.metadata, release_index=r, sweep_size=self.n_releases),
+            flat=self._flat.tree(r),
+        )
+        self._cache[r] = psd
+        return psd
+
+    def releases(self) -> List[PrivateSpatialDecomposition]:
+        """All releases, materialised."""
+        return [self.release(r) for r in range(self.n_releases)]
+
+    def _make_accountant(self, r: int) -> PrivacyAccountant:
+        ledger = PrivacyAccountant(
+            total_budget=float(self.epsilons[r]) + self._structure_epsilon
+        )
+        for level in self._dd_levels:
+            ledger.charge(float(self._eps_median_per_level[r]), level=level, kind="median")
+        for level, eps in enumerate(self.count_epsilons[r]):
+            if eps > 0:
+                ledger.charge(float(eps), level=level, kind="count")
+        return ledger
+
+    # ------------------------------------------------------------------
+    def released_matrix(self) -> np.ndarray:
+        """The ``(n_nodes, R)`` released counts every query path consumes.
+
+        Post-processed counts when present, raw noisy counts where the level
+        funded one, ``0.0`` elsewhere — the same predicate as the compiled
+        engine's ``released`` array, so ``S @ released_matrix()`` equals the
+        per-release engine answers.
+        """
+        flat = self._flat
+        if flat is None:
+            raise ValueError("released_matrix requires the batched array form (not pruned/listed)")
+        if flat.post_count is not None:
+            return np.ascontiguousarray(flat.post_count.T)
+        eps_node = self.count_epsilons[:, flat.level]  # (R, n)
+        usable = (eps_node > 0) & np.isfinite(flat.noisy_count)
+        return np.ascontiguousarray(np.where(usable, flat.noisy_count, 0.0).T)
+
+    def query_engine(self):
+        """A compiled engine of the shared structure (release 0's counts).
+
+        Only the geometry / released-pattern arrays are meaningful for the
+        shared query matrix; per-release counts come from
+        :meth:`released_matrix`.
+        """
+        if not self.supports_shared_queries():
+            raise ValueError("releases do not share a query structure; compile per release")
+        from ..engine.flat import compile_psd
+
+        return compile_psd(self.release(0))
+
+    # ------------------------------------------------------------------
+    def postprocess(self) -> "PSDReleaseBatch":
+        """OLS post-processing of every release (Section 5), batched."""
+        if self._psds is not None:
+            for psd in self._psds:
+                psd.postprocess()
+            return self
+        from .flatbuild import apply_ols_releases
+
+        self._cache.clear()
+        apply_ols_releases(self._flat, self.count_epsilons)
+        return self
+
+    def prune(self, threshold: float) -> "PSDReleaseBatch":
+        """Prune low-count subtrees per release (cuts differ across releases)."""
+        if self._psds is None:
+            self._psds = self.releases()
+            self._flat = None
+            self._cache.clear()
+        for psd in self._psds:
+            psd.prune(threshold)
+        return self
+
+
+def _structure_draw_plan(
+    split_rule: SplitRule,
+    height: int,
+    eps_median_per_level: np.ndarray,
+) -> Optional[List[np.ndarray]]:
+    """Per-level uniform draw counts of every release's structure, or ``None``.
+
+    Entry ``i`` of the result covers split level ``height - i`` and holds one
+    draw count per release.  ``None`` anywhere (a data-dependent draw layout,
+    e.g. sampled medians, or no vectorized path) or a level whose releases
+    disagree on *whether* they draw sends the sweep down the sequential
+    fallback — a mixed level has no single stacked layout.
+    """
+    plan: List[np.ndarray] = []
+    for level in range(height, 0, -1):
+        k = split_rule.fanout ** (height - level)
+        dd = split_rule.is_data_dependent(level, height)
+        draws = []
+        for eps in eps_median_per_level:
+            count = split_rule.level_random_draws(level, height, k, float(eps) if dd else 0.0)
+            if count is None:
+                return None
+            draws.append(int(count))
+        arr = np.asarray(draws, dtype=np.int64)
+        if np.any(arr > 0) and np.any(arr == 0):
+            return None
+        plan.append(arr)
+    return plan
+
+
+def build_psd_releases(
+    points: np.ndarray,
+    domain: Domain,
+    height: int,
+    split_rule: SplitRule,
+    epsilons: Sequence[float],
+    repetitions: int = 1,
+    count_budget: "str | BudgetStrategy" = "geometric",
+    budget_split: Optional[BudgetSplit] = None,
+    rng: RngLike = None,
+    name: str = "psd",
+    postprocess: bool = False,
+    prune_threshold: Optional[float] = None,
+    noiseless_counts: bool = False,
+    structure=None,
+) -> PSDReleaseBatch:
+    """Build ``len(epsilons) * repetitions`` releases in one batched pass.
+
+    The sweep is the paper's evaluation loop made first class: every
+    ``(epsilon, repetition)`` pair yields an independent noisy release of the
+    same configuration.  Structure work is shared — data-independent rules
+    compute their geometry once; data-dependent rules build all releases'
+    trees through stacked :meth:`~repro.core.splits.SplitRule.split_level`
+    calls — and all count noise is drawn as release-major batches.
+
+    **Parity contract**: release ``r`` (in ``epsilon``-major, repetition-minor
+    order) is bitwise identical — structure, noisy counts, post-processed
+    counts, and the generator's final state — to the ``r``-th build of the
+    sequential loop over ``build_psd`` with the same arguments and the same
+    seeded generator.  Split rules without a statically-known draw layout
+    (sampled medians, custom callables, per-release structures like the
+    cell-based grid) fall back to exactly that sequential loop, so the
+    contract holds trivially.
+
+    ``structure`` optionally hands in a prebuilt
+    :class:`~repro.core.flatbuild.FlatTree` for a **data-independent** rule —
+    the geometry a fresh :func:`~repro.core.flatbuild.build_flat_structure`
+    call on the same ``(points, domain, height, split_rule)`` would produce
+    (the caller's promise; height and fanout are verified).  Data-independent
+    geometry consumes no randomness, so sweep drivers use this to compute one
+    structure for *several* batches — e.g. the four quadtree variants of a
+    Figure-3 grid — without affecting any release's bits.  Rejected for
+    data-dependent rules, whose structures are per release.
+    """
+    if height < 0:
+        raise ValueError("height must be non-negative")
+    if repetitions < 1:
+        raise ValueError("repetitions must be at least 1")
+    eps_list = [float(e) for e in epsilons]
+    if not eps_list:
+        raise ValueError("epsilons must be non-empty")
+    if any(e <= 0 for e in eps_list):
+        raise ValueError("every epsilon must be positive")
+    gen = ensure_rng(rng)
+    pts = domain.validate_points(points)
+    release_eps = np.repeat(np.asarray(eps_list, dtype=float), repetitions)
+    n_releases = release_eps.shape[0]
+
+    dd_levels = split_rule.data_dependent_levels(height)
+    split = budget_split or BudgetSplit()
+    partitions = [split.partition(e, data_dependent=bool(dd_levels)) for e in release_eps]
+    eps_count = np.asarray([p[0] for p in partitions])
+    eps_median = np.asarray([p[1] for p in partitions])
+    eps_median_per_level = eps_median / len(dd_levels) if dd_levels else np.zeros(n_releases)
+
+    strategy = resolve_budget(count_budget)
+    count_eps = np.asarray([strategy.validate(height, ec) for ec in eps_count], dtype=float)
+
+    metadata = {
+        "split_rule": getattr(split_rule, "name", type(split_rule).__name__),
+        "count_budget": getattr(strategy, "name", type(strategy).__name__),
+        "layout": "flat",
+    }
+
+    def sequential_fallback() -> PSDReleaseBatch:
+        psds = [
+            build_psd(
+                points=pts,
+                domain=domain,
+                height=height,
+                split_rule=split_rule,
+                epsilon=float(release_eps[r]),
+                count_budget=count_budget,
+                budget_split=budget_split,
+                rng=gen,
+                name=name,
+                postprocess=postprocess,
+                prune_threshold=prune_threshold,
+                noiseless_counts=noiseless_counts,
+            )
+            for r in range(n_releases)
+        ]
+        return PSDReleaseBatch(
+            domain=domain, height=height, fanout=split_rule.fanout, name=name,
+            epsilons=release_eps, count_epsilons=count_eps,
+            eps_median_per_level=eps_median_per_level, dd_levels=dd_levels,
+            psds=psds, metadata=metadata,
+        )
+
+    from .flatbuild import (
+        batch_from_shared_structure,
+        build_flat_structure,
+        build_flat_structures_stacked,
+        populate_noisy_counts_releases,
+    )
+
+    if structure is not None and dd_levels:
+        raise ValueError("structure= applies only to data-independent split rules")
+    if not dd_levels:
+        if structure is not None:
+            if structure.height != height or structure.fanout != split_rule.fanout:
+                raise ValueError("prebuilt structure does not match this configuration")
+            tree = structure
+        else:
+            # Data-independent structure: one build serves every release.  The
+            # build must not touch the RNG (a rule that did would give each
+            # sequential release a *different* structure); verify by state
+            # snapshot and fall back to the sequential loop if it did.
+            state_before = gen.bit_generator.state
+            tree = build_flat_structure(pts, domain, height, split_rule, 0.0, rng=gen)
+            if gen.bit_generator.state != state_before:
+                gen.bit_generator.state = state_before
+                return sequential_fallback()
+        flat_batch = batch_from_shared_structure(tree, n_releases)
+        std_laplace = _draw_count_noise(gen, count_eps, flat_batch.level, noiseless_counts)
+    else:
+        plan = _structure_draw_plan(split_rule, height, eps_median_per_level)
+        if plan is None:
+            return sequential_fallback()
+        # Pre-draw release-major: each release's structure uniforms (levels
+        # root-down), then its count noise — exactly the stream the
+        # sequential loop consumes, so the final generator state matches.
+        level_chunks: List[List[np.ndarray]] = [[] for _ in plan]
+        std_laplace = []
+        noise_sizes = _noise_draw_sizes(count_eps, split_rule.fanout, height, noiseless_counts)
+        for r in range(n_releases):
+            for i, per_release in enumerate(plan):
+                if per_release[r] > 0:
+                    level_chunks[i].append(gen.random(int(per_release[r])))
+            m = int(noise_sizes[r])
+            std_laplace.append(gen.laplace(0.0, 1.0, size=m) if m else np.empty(0))
+        replay = ReplayRng([np.concatenate(chunks) for chunks in level_chunks if chunks])
+        flat_batch = build_flat_structures_stacked(
+            pts, domain, height, split_rule, eps_median_per_level, replay
+        )
+        if not replay.exhausted():
+            raise RuntimeError("stacked build consumed fewer uniforms than pre-drawn")
+
+    populate_noisy_counts_releases(flat_batch, count_eps, std_laplace, noiseless_counts)
+
+    batch = PSDReleaseBatch(
+        domain=domain, height=height, fanout=split_rule.fanout, name=name,
+        epsilons=release_eps, count_epsilons=count_eps,
+        eps_median_per_level=eps_median_per_level, dd_levels=dd_levels,
+        flat=flat_batch, metadata=metadata,
+    )
+    if postprocess:
+        batch.postprocess()
+    if prune_threshold is not None:
+        batch.prune(prune_threshold)
+    return batch
+
+
+def _noise_draw_sizes(
+    count_eps: np.ndarray, fanout: int, height: int, noiseless: bool
+) -> np.ndarray:
+    """Laplace draws each release's count population consumes (0 if noiseless)."""
+    n_releases = count_eps.shape[0]
+    if noiseless:
+        return np.zeros(n_releases, dtype=np.int64)
+    level_sizes = np.asarray(
+        [fanout ** (height - lvl) for lvl in range(height + 1)], dtype=np.int64
+    )
+    return ((count_eps > 0) * level_sizes[None, :]).sum(axis=1).astype(np.int64)
+
+
+def _draw_count_noise(
+    gen: np.random.Generator, count_eps: np.ndarray, level: np.ndarray, noiseless: bool
+) -> List[np.ndarray]:
+    """Per-release standard-Laplace noise in release-major, level-down order."""
+    if noiseless:
+        return [np.empty(0) for _ in range(count_eps.shape[0])]
+    funded_per_release = (count_eps[:, level] > 0).sum(axis=1)
+    return [gen.laplace(0.0, 1.0, size=int(m)) if m else np.empty(0)
+            for m in funded_per_release]

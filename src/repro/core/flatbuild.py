@@ -47,10 +47,14 @@ from .splits import SplitRule
 
 __all__ = [
     "FlatTree",
+    "FlatTreeBatch",
     "bfs_order",
     "build_flat_structure",
+    "build_flat_structures_stacked",
     "populate_noisy_counts_flat",
+    "populate_noisy_counts_releases",
     "apply_ols_flat",
+    "apply_ols_releases",
     "prune_flat",
     "ols_beta",
     "materialize_nodes",
@@ -215,23 +219,11 @@ def build_flat_structure(
         level_hi.append(child_hi)
         level_counts.append(counts)
 
-    sizes = np.array([a.shape[0] for a in level_lo], dtype=np.int64)
+    # The fanout check above makes the tree complete by construction, so the
+    # index structure is the canonical complete-tree topology shared with the
+    # multi-release batches.
+    level_arr, parent, child_start, child_end, sizes = _batch_topology(height, fanout)
     n = int(sizes.sum())
-    level_arr = np.repeat(np.arange(height, -1, -1, dtype=np.int32), sizes)
-    # Children of the j-th node of a level are the f consecutive nodes starting
-    # at offset j*f of the next stored level; child offsets follow the same
-    # running-position convention as the engine compiler (leaves get an empty
-    # range at the current position).
-    n_children = np.where(level_arr > 0, fanout, 0).astype(np.int64)
-    child_start = 1 + np.concatenate(([0], np.cumsum(n_children)[:-1]))
-    child_end = child_start + n_children
-
-    offsets = np.concatenate(([0], np.cumsum(sizes)))
-    parent = np.empty(n, dtype=np.int64)
-    parent[0] = -1
-    for i in range(1, sizes.shape[0]):
-        start, stop = offsets[i], offsets[i + 1]
-        parent[start:stop] = offsets[i - 1] + np.arange(stop - start, dtype=np.int64) // fanout
 
     return FlatTree(
         lo=np.concatenate(level_lo, axis=0),
@@ -342,15 +334,33 @@ def ols_beta(
     phases of Theorem 5 each become one sweep over the level slices; per-node
     arithmetic matches the recursive reference operation for operation, so
     the result is bit-for-bit identical.
+
+    The estimator also carries an optional **release axis**: pass
+    ``noisy_count`` as a ``(n_nodes, R)`` matrix and ``count_epsilons`` as
+    ``(height + 1, R)`` to post-process ``R`` independent noisy releases of
+    the same tree topology in one set of sweeps.  Column ``r`` of the result
+    is bit-for-bit what the single-release call on column ``r`` would return
+    (every per-level operation is elementwise over the release axis, and the
+    fanout reduction keeps its left-to-right order regardless of trailing
+    axes).
     """
     eps = np.asarray(count_epsilons, dtype=float)
+    y_in = np.asarray(noisy_count, dtype=float)
+    single = y_in.ndim == 1
+    if single:
+        y_in = y_in[:, None]
+    if eps.ndim == 1:
+        eps = eps[:, None]
+    if eps.shape != (height + 1, y_in.shape[1]):
+        raise ValueError("count_epsilons must have one column per release and height + 1 rows")
+    n_releases = y_in.shape[1]
     weights = eps * eps
-    if weights[0] <= 0:
+    if np.any(weights[0] <= 0):
         raise ValueError("OLS post-processing requires a positive leaf budget (eps_0 > 0)")
     f = float(fanout)
     n = level.shape[0]
     powers = f ** np.arange(height + 1)
-    e_array = np.cumsum(powers * weights)
+    e_array = np.cumsum(powers[:, None] * weights, axis=0)
 
     # Level slices: BFS order stores level h first, level 0 last.
     sizes = np.array([fanout ** (height - lvl) for lvl in range(height, -1, -1)], dtype=np.int64)
@@ -363,11 +373,12 @@ def ols_beta(
         return slice(int(offsets[i]), int(offsets[i + 1]))
 
     # Phase I (top-down): alpha_u = alpha_parent + eps_{h(u)}^2 * Y_u,
-    # with Y taken as 0 where no count was released.
+    # with Y taken as 0 where no count was released.  (One fused where: the
+    # product is only *selected* where Y is finite, so masking Y first would
+    # change nothing but cost an extra full pass.)
     w_node = weights[level]
-    safe_y = np.where(np.isfinite(noisy_count), noisy_count, 0.0)
-    contribution = np.where((w_node > 0) & np.isfinite(noisy_count), w_node * safe_y, 0.0)
-    alpha = np.empty(n)
+    contribution = np.where(np.isfinite(y_in) & (w_node > 0), w_node * y_in, 0.0)
+    alpha = np.empty((n, n_releases))
     alpha[0] = 0.0 + contribution[0]
     for lvl in range(height - 1, -1, -1):
         sl = level_slice(lvl)
@@ -377,26 +388,27 @@ def ols_beta(
     # Children of a level's nodes are exactly the next stored level in order,
     # so the per-node sum is one reshape (fanout <= 8 keeps NumPy's reduction
     # strictly left-to-right, matching the recursive accumulation bitwise).
-    z = np.empty(n)
+    z = np.empty((n, n_releases))
     sl0 = level_slice(0)
     z[sl0] = alpha[sl0]
     for lvl in range(1, height + 1):
         sl = level_slice(lvl)
         below = level_slice(lvl - 1)
-        z[sl] = z[below].reshape(sl.stop - sl.start, fanout).sum(axis=1)
+        z[sl] = z[below].reshape(sl.stop - sl.start, fanout, n_releases).sum(axis=1)
 
     # Phase III (top-down): beta_root = Z_root / E_h; for other nodes
     # F_v = F_parent + beta_parent * eps_{h(v)+1}^2 and
     # beta_v = (Z_v - f^{h(v)} * F_v) / E_{h(v)}.
-    beta = np.empty(n)
-    f_value = np.zeros(n)
+    beta = np.empty((n, n_releases))
+    f_value = np.zeros((n, n_releases))
     beta[0] = (z[0] - (f ** height) * 0.0) / e_array[height]
     for lvl in range(height - 1, -1, -1):
         sl = level_slice(lvl)
         par = parent[sl]
-        f_value[sl] = f_value[par] + beta[par] * weights[lvl + 1]
-        beta[sl] = (z[sl] - (f ** lvl) * f_value[sl]) / e_array[lvl]
-    return beta
+        fv = f_value[par] + beta[par] * weights[lvl + 1]
+        f_value[sl] = fv
+        beta[sl] = (z[sl] - (f ** lvl) * fv) / e_array[lvl]
+    return beta[:, 0] if single else beta
 
 
 def apply_ols_flat(tree: FlatTree, count_epsilons: Sequence[float]) -> FlatTree:
@@ -458,6 +470,291 @@ def prune_flat(tree: FlatTree, threshold: float) -> int:
     if tree.post_count is not None:
         tree.post_count = tree.post_count[idx]
     return removed
+
+
+# ----------------------------------------------------------------------
+# Multi-release batches: one topology, R noisy releases
+# ----------------------------------------------------------------------
+@dataclass
+class FlatTreeBatch:
+    """``R`` complete trees sharing one BFS topology, in batched array form.
+
+    Every release of a sweep is a complete tree of the same height and fanout,
+    so the index structure (``level`` / ``parent`` / ``child_start`` /
+    ``child_end``) is identical across releases and stored once.  Geometry and
+    counts carry the release axis:
+
+    * data-independent structures (quadtree) share their geometry — ``lo`` /
+      ``hi`` are ``(n_nodes, dims)`` and ``true_count`` is ``(n_nodes,)``;
+    * data-dependent structures (kd, hybrid, Hilbert) have per-release
+      geometry — ``(R, n_nodes, dims)`` bounds and ``(R, n_nodes)`` true
+      counts;
+    * ``noisy_count`` (and ``post_count`` once OLS ran) are always
+      ``(R, n_nodes)``: row ``r`` is release ``r``'s count vector.
+
+    :meth:`tree` slices one release back out as an ordinary mutable
+    :class:`FlatTree` (copies, so pruning a release never corrupts the batch).
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+    level: np.ndarray
+    parent: np.ndarray
+    child_start: np.ndarray
+    child_end: np.ndarray
+    true_count: np.ndarray
+    noisy_count: np.ndarray
+    post_count: Optional[np.ndarray]
+    height: int
+    fanout: int
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return int(self.level.shape[0])
+
+    @property
+    def n_releases(self) -> int:
+        return int(self.noisy_count.shape[0])
+
+    @property
+    def shared_geometry(self) -> bool:
+        """Whether all releases share one set of node rectangles."""
+        return self.lo.ndim == 2
+
+    def tree(self, r: int) -> FlatTree:
+        """Release ``r`` as a standalone (mutable, copied) :class:`FlatTree`."""
+        if not 0 <= r < self.n_releases:
+            raise IndexError(f"release index {r} out of range for {self.n_releases} releases")
+        lo = self.lo if self.shared_geometry else self.lo[r]
+        hi = self.hi if self.shared_geometry else self.hi[r]
+        true = self.true_count if self.true_count.ndim == 1 else self.true_count[r]
+        return FlatTree(
+            lo=lo.copy(),
+            hi=hi.copy(),
+            level=self.level.copy(),
+            parent=self.parent.copy(),
+            child_start=self.child_start.copy(),
+            child_end=self.child_end.copy(),
+            true_count=true.copy(),
+            noisy_count=self.noisy_count[r].copy(),
+            post_count=None if self.post_count is None else self.post_count[r].copy(),
+            height=self.height,
+            fanout=self.fanout,
+        )
+
+
+def _batch_topology(height: int, fanout: int):
+    """The BFS index arrays of a complete tree — the single source of the
+    topology shared by every single-release build and release batch.
+
+    Children of the j-th node of a level are the ``fanout`` consecutive nodes
+    starting at offset ``j * fanout`` of the next stored level; child offsets
+    follow the same running-position convention as the engine compiler
+    (leaves get an empty range at the current position).
+    """
+    sizes = np.array([fanout ** (height - lvl) for lvl in range(height, -1, -1)], dtype=np.int64)
+    n = int(sizes.sum())
+    level_arr = np.repeat(np.arange(height, -1, -1, dtype=np.int32), sizes)
+    n_children = np.where(level_arr > 0, fanout, 0).astype(np.int64)
+    child_start = 1 + np.concatenate(([0], np.cumsum(n_children)[:-1]))
+    child_end = child_start + n_children
+    offsets = np.concatenate(([0], np.cumsum(sizes)))
+    parent = np.empty(n, dtype=np.int64)
+    parent[0] = -1
+    for i in range(1, sizes.shape[0]):
+        start, stop = offsets[i], offsets[i + 1]
+        parent[start:stop] = offsets[i - 1] + np.arange(stop - start, dtype=np.int64) // fanout
+    return level_arr, parent, child_start, child_end, sizes
+
+
+def batch_from_shared_structure(tree: FlatTree, n_releases: int) -> FlatTreeBatch:
+    """Wrap one data-independent structure as an ``R``-release batch.
+
+    The geometry arrays are *shared* (not copied): a data-independent
+    structure is identical in every release, and the batch never mutates
+    them.  Counts start unreleased (``nan``).
+    """
+    return FlatTreeBatch(
+        lo=tree.lo,
+        hi=tree.hi,
+        level=tree.level,
+        parent=tree.parent,
+        child_start=tree.child_start,
+        child_end=tree.child_end,
+        true_count=tree.true_count,
+        noisy_count=np.full((n_releases, tree.n_nodes), np.nan),
+        post_count=None,
+        height=tree.height,
+        fanout=tree.fanout,
+    )
+
+
+def build_flat_structures_stacked(
+    points: np.ndarray,
+    domain: Domain,
+    height: int,
+    split_rule: SplitRule,
+    eps_median_per_level: np.ndarray,
+    rng: np.random.Generator,
+) -> FlatTreeBatch:
+    """Build ``R`` data-dependent structures in one stacked level sweep.
+
+    Each release's nodes ride along as extra segments of every
+    :meth:`~repro.core.splits.SplitRule.split_level` call: the level arrays
+    hold the ``R * k`` nodes of all releases release-major, each node carrying
+    its own release's median budget, and the points array holds ``R`` copies
+    of the dataset partitioned per release.  Because batched median kernels
+    are segment-local and consume their uniforms node-major, feeding them the
+    releases' **pre-drawn** uniforms (via :class:`~repro.privacy.rng.ReplayRng`)
+    reproduces every release bit for bit as if it had been built alone.
+
+    ``rng`` is normally that replay generator; the split rule must have a
+    vectorized path for every level (the caller verifies this upfront via
+    :meth:`~repro.core.splits.SplitRule.level_random_draws`), so a ``None``
+    from ``split_level`` here is a contract violation and raises.
+    """
+    pts = np.asarray(points, dtype=float)
+    eps_med = np.asarray(eps_median_per_level, dtype=float)
+    n_releases = eps_med.shape[0]
+    fanout = split_rule.fanout
+    dims = domain.dims
+    n0 = pts.shape[0]
+
+    root_lo = np.repeat(np.asarray(domain.rect.lo, dtype=float).reshape(1, dims),
+                        n_releases, axis=0)
+    root_hi = np.repeat(np.asarray(domain.rect.hi, dtype=float).reshape(1, dims),
+                        n_releases, axis=0)
+    cur_lo, cur_hi = root_lo, root_hi
+    cur_pts = np.tile(pts, (n_releases, 1))
+    cur_node = np.repeat(np.arange(n_releases, dtype=np.int64), n0)
+
+    level_lo: List[np.ndarray] = [root_lo]
+    level_hi: List[np.ndarray] = [root_hi]
+    level_counts: List[np.ndarray] = [np.full(n_releases, n0, dtype=np.int64)]
+
+    for level in range(height, 0, -1):
+        k = cur_lo.shape[0] // n_releases  # nodes per release at this level
+        if split_rule.is_data_dependent(level, height):
+            eps_level = np.repeat(eps_med, k)  # release-major, one per stacked node
+        else:
+            eps_level = 0.0
+        batched = split_rule.split_level(
+            cur_lo, cur_hi, cur_pts, cur_node, level, height, domain, eps_level, rng=rng
+        )
+        if batched is None:
+            raise RuntimeError(
+                f"split rule {split_rule!r} lost its vectorized path at level {level} "
+                "mid-sweep; the pre-drawn uniforms cannot be replayed per node"
+            )
+        child_lo, child_hi, child_of_pt, level_pts = batched
+        if child_lo.shape[0] != cur_lo.shape[0] * fanout:
+            raise RuntimeError(
+                f"split rule {split_rule!r} produced {child_lo.shape[0]} children "
+                f"for {cur_lo.shape[0]} nodes, expected fanout {fanout}"
+            )
+        order = np.argsort(child_of_pt, kind="stable")
+        cur_pts = level_pts[order]
+        cur_node = child_of_pt[order]
+        counts = np.bincount(child_of_pt, minlength=child_lo.shape[0]).astype(np.int64)
+        cur_lo, cur_hi = child_lo, child_hi
+        level_lo.append(child_lo)
+        level_hi.append(child_hi)
+        level_counts.append(counts)
+
+    level_arr, parent, child_start, child_end, sizes = _batch_topology(height, fanout)
+    n = int(sizes.sum())
+    lo = np.empty((n_releases, n, dims))
+    hi = np.empty((n_releases, n, dims))
+    true_count = np.empty((n_releases, n), dtype=np.int64)
+    pos = 0
+    for a_lo, a_hi, a_counts in zip(level_lo, level_hi, level_counts):
+        k = a_lo.shape[0] // n_releases
+        lo[:, pos:pos + k, :] = a_lo.reshape(n_releases, k, dims)
+        hi[:, pos:pos + k, :] = a_hi.reshape(n_releases, k, dims)
+        true_count[:, pos:pos + k] = a_counts.reshape(n_releases, k)
+        pos += k
+
+    return FlatTreeBatch(
+        lo=lo,
+        hi=hi,
+        level=level_arr,
+        parent=parent,
+        child_start=child_start,
+        child_end=child_end,
+        true_count=true_count,
+        noisy_count=np.full((n_releases, n), np.nan),
+        post_count=None,
+        height=height,
+        fanout=fanout,
+    )
+
+
+def populate_noisy_counts_releases(
+    batch: FlatTreeBatch,
+    count_epsilons: np.ndarray,
+    std_laplace: Sequence[np.ndarray],
+    noiseless: bool = False,
+) -> FlatTreeBatch:
+    """Scatter pre-drawn standard-Laplace noise into every release's counts.
+
+    ``std_laplace[r]`` holds release ``r``'s scale-1 Laplace draws in the
+    canonical order (levels root-down, nodes in BFS order — exactly the flat
+    array order restricted to the levels release ``r`` funds).  Multiplying a
+    scale-1 draw by ``1 / eps`` afterwards is bitwise identical to drawing at
+    that scale directly, because NumPy's Laplace sampler applies its scale as
+    the same single multiplication — so each release's counts equal what the
+    sequential :func:`populate_noisy_counts_flat` would have produced.
+    """
+    eps = np.asarray(count_epsilons, dtype=float)
+    n_releases, n = batch.n_releases, batch.n_nodes
+    true = batch.true_count
+    if true.ndim == 1:
+        true = np.broadcast_to(true, (n_releases, n))
+    if noiseless:
+        batch.noisy_count = true.astype(float).copy()
+        batch.post_count = None
+        return batch
+    funded_levels = eps > 0  # (R, height + 1): the small per-level pattern
+    funded_count = int((funded_levels.astype(np.int64)
+                        * np.bincount(batch.level, minlength=eps.shape[1])[None, :]).sum())
+    noise = np.concatenate([np.asarray(c, dtype=float).ravel() for c in std_laplace]) \
+        if len(std_laplace) else np.empty(0)
+    if funded_count != noise.size:
+        raise ValueError(
+            f"pre-drawn noise has {noise.size} values but {funded_count} "
+            "funded (eps > 0) node counts need one each"
+        )
+    # Row-major order over the (release, node) mask is exactly the release-
+    # major, level-ordered draw sequence of the sequential loop.  Budgets that
+    # fund every level (uniform, geometric) take the maskless path: the
+    # per-node scale is a gather of the small per-level inverse table.
+    if funded_levels.all():
+        with np.errstate(divide="ignore"):
+            inv_eps = 1.0 / eps
+        noisy = true + inv_eps[:, batch.level] * noise.reshape(n_releases, n)
+    else:
+        eps_node = eps[:, batch.level]
+        funded = eps_node > 0
+        noisy = np.full((n_releases, n), np.nan)
+        noisy[funded] = true[funded] + (1.0 / eps_node[funded]) * noise
+    batch.noisy_count = noisy
+    batch.post_count = None
+    return batch
+
+
+def apply_ols_releases(batch: FlatTreeBatch, count_epsilons: np.ndarray) -> FlatTreeBatch:
+    """OLS post-processing of every release in one set of per-level sweeps.
+
+    ``count_epsilons`` is ``(R, height + 1)``; column ``r`` of the stacked
+    :func:`ols_beta` call is bit-for-bit the single-release result.
+    """
+    eps = np.asarray(count_epsilons, dtype=float)
+    post = ols_beta(
+        batch.level, batch.parent, batch.noisy_count.T, eps.T, batch.fanout, batch.height
+    )
+    batch.post_count = np.ascontiguousarray(post.T)
+    return batch
 
 
 # ----------------------------------------------------------------------

@@ -37,7 +37,8 @@ from .builder import BudgetSplit, build_psd
 from .splits import SplitResult, SplitRule
 from .tree import PrivateSpatialDecomposition
 
-__all__ = ["BinaryMedianSplit", "PrivateHilbertRTree", "build_private_hilbert_rtree",
+__all__ = ["BinaryMedianSplit", "PrivateHilbertRTree", "HilbertRTreeReleases",
+           "build_private_hilbert_rtree", "build_private_hilbert_rtree_releases",
            "hilbert_interval_bounds"]
 
 
@@ -76,6 +77,13 @@ class BinaryMedianSplit(SplitRule):
                 results.append((child_rect, points))
         return results
 
+    def level_random_draws(self, level, height, n_nodes, epsilon_median):
+        from .splits import _method_level_draws
+
+        return _method_level_draws(
+            resolve_median_method(self.median_method), n_nodes, 1, epsilon_median
+        )
+
     def split_level(self, lo, hi, points, point_node, level, height, domain,
                     epsilon_median, rng=None):
         """One batched private median per level over the Hilbert indices.
@@ -84,11 +92,17 @@ class BinaryMedianSplit(SplitRule):
         (a single stage here), so the flat build consumes the RNG exactly as
         the per-node reference does.
         """
+        from .splits import _level_epsilons
+
         method = resolve_median_method(self.median_method)
         batch = getattr(method, "batch", None)
         k = lo.shape[0]
         method_is_private = method is not true_median
-        needs_draws = method_is_private and epsilon_median > 0
+        level_eps = _level_epsilons(epsilon_median, k)
+        if level_eps is None:
+            return None  # mixed zero/positive budgets: no uniform draw layout
+        eps_nodes, has_budget = level_eps
+        needs_draws = method_is_private and has_budget
         draws_per_call = getattr(method, "draws_per_call", None)
         if needs_draws and (batch is None or draws_per_call is None):
             return None
@@ -133,8 +147,7 @@ class BinaryMedianSplit(SplitRule):
                 rank = np.arange(n_pts, dtype=np.int64) - offs[:-1][seg_sorted]
                 uniforms = (u[base[seg_sorted] + rank],
                             u[(base[:-1] + counts)[:, None] + np.arange(d)[None, :]])
-            eps_vec = np.full(k, epsilon_median)
-            split = np.asarray(batch(sorted_vals, offs, eps_vec, lo0, hi0,
+            split = np.asarray(batch(sorted_vals, offs, eps_nodes, lo0, hi0,
                                      uniforms=uniforms, validate=False))
         split = np.minimum(np.maximum(split, lo0), hi0)  # Rect.split_at clamp
 
@@ -381,3 +394,80 @@ def build_private_hilbert_rtree(
         layout=layout,
     )
     return PrivateHilbertRTree(psd=psd, curve=curve, domain=domain)
+
+
+@dataclass
+class HilbertRTreeReleases:
+    """``R`` private Hilbert R-tree releases over one (shared) Hilbert encoding.
+
+    Thin planar wrapper over a :class:`~repro.core.builder.PSDReleaseBatch` of
+    the underlying 1-D index trees: the curve, the encoded values and the
+    planar domain are public and identical across releases, so only the index
+    tree carries the release axis.  :meth:`release` wraps one release back
+    into a :class:`PrivateHilbertRTree` for planar serving.
+    """
+
+    batch: "object"  # PSDReleaseBatch (kept untyped to avoid the import cycle)
+    curve: HilbertCurve
+    domain: Domain
+    name: str = "hilbert-r"
+
+    @property
+    def n_releases(self) -> int:
+        return self.batch.n_releases
+
+    def release(self, r: int) -> PrivateHilbertRTree:
+        return PrivateHilbertRTree(psd=self.batch.release(r), curve=self.curve,
+                                   domain=self.domain, name=self.name)
+
+    def releases(self) -> List[PrivateHilbertRTree]:
+        return [self.release(r) for r in range(self.n_releases)]
+
+
+def build_private_hilbert_rtree_releases(
+    points: np.ndarray,
+    domain: Domain,
+    height: int,
+    epsilons,
+    repetitions: int = 1,
+    order: int = 18,
+    median_method: "str | MedianMethod" = "em",
+    count_budget: str = "geometric",
+    count_fraction: float = 0.7,
+    postprocess: bool = True,
+    prune_threshold: Optional[float] = None,
+    rng: RngLike = None,
+) -> HilbertRTreeReleases:
+    """Build ``len(epsilons) * repetitions`` Hilbert R-tree releases in one pass.
+
+    The (public, deterministic) Hilbert encoding of the points is computed
+    once and shared; the private index trees come from
+    :func:`~repro.core.builder.build_psd_releases`, so release ``r`` is
+    bitwise identical to the ``r``-th sequential
+    :func:`build_private_hilbert_rtree` call with the same seeded generator.
+    """
+    from .builder import build_psd_releases
+
+    if domain.dims != 2:
+        raise ValueError("the private Hilbert R-tree is defined for two-dimensional data")
+    gen = ensure_rng(rng)
+    pts = domain.validate_points(points)
+    curve = HilbertCurve(order=order, domain=domain.rect)
+    values = curve.encode(pts).astype(float).reshape(-1, 1) if pts.size else np.empty((0, 1))
+    hilbert_domain = Domain.from_bounds((0.0,), (float(curve.max_index) + 1.0,),
+                                        name="hilbert-index")
+    batch = build_psd_releases(
+        points=values,
+        domain=hilbert_domain,
+        height=height,
+        split_rule=BinaryMedianSplit(median_method=median_method),
+        epsilons=epsilons,
+        repetitions=repetitions,
+        count_budget=count_budget,
+        budget_split=BudgetSplit(count_fraction=count_fraction),
+        rng=gen,
+        name="hilbert-r",
+        postprocess=postprocess,
+        prune_threshold=prune_threshold,
+    )
+    return HilbertRTreeReleases(batch=batch, curve=curve, domain=domain)

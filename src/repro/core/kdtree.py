@@ -31,11 +31,16 @@ from ..geometry.domain import Domain
 from ..index.grid import UniformGrid
 from ..privacy.accountant import PrivacyAccountant
 from ..privacy.rng import RngLike, ensure_rng
-from .builder import BudgetSplit, build_psd
+from .builder import BudgetSplit, PSDReleaseBatch, build_psd, build_psd_releases
 from .splits import CellKDSplit, HybridSplit, KDSplit
 from .tree import PrivateSpatialDecomposition
 
-__all__ = ["KDTreeConfig", "KDTREE_VARIANTS", "build_private_kdtree"]
+__all__ = [
+    "KDTreeConfig",
+    "KDTREE_VARIANTS",
+    "build_private_kdtree",
+    "build_private_kdtree_releases",
+]
 
 
 @dataclass(frozen=True)
@@ -48,6 +53,24 @@ class KDTreeConfig:
     cell_based: bool = False
     noiseless_counts: bool = False
     count_fraction: float = 0.7
+
+
+def _resolve_kdtree_config(
+    variant: "str | KDTreeConfig", median_method: Optional[str]
+) -> KDTreeConfig:
+    """Look a variant up by label (or pass a config through) and apply the
+    ``median_method`` override — shared by the single-release and the
+    release-batch builders so the two can never drift."""
+    if isinstance(variant, KDTreeConfig):
+        config = variant
+    else:
+        key = str(variant).lower()
+        if key not in KDTREE_VARIANTS:
+            raise KeyError(f"unknown kd-tree variant {variant!r}; available: {sorted(KDTREE_VARIANTS)}")
+        config = KDTREE_VARIANTS[key]
+    if median_method is not None and not config.cell_based:
+        config = replace(config, median_method=str(median_method).lower())
+    return config
 
 
 #: The kd-tree variants of Figure 5, keyed by the paper's labels.
@@ -107,15 +130,7 @@ def build_private_kdtree(
         ``"flat"`` (default, level-vectorized) or ``"pointer"`` (per-node
         reference); identical output for the same seed.
     """
-    if isinstance(variant, KDTreeConfig):
-        config = variant
-    else:
-        key = str(variant).lower()
-        if key not in KDTREE_VARIANTS:
-            raise KeyError(f"unknown kd-tree variant {variant!r}; available: {sorted(KDTREE_VARIANTS)}")
-        config = KDTREE_VARIANTS[key]
-    if median_method is not None and not config.cell_based:
-        config = replace(config, median_method=str(median_method).lower())
+    config = _resolve_kdtree_config(variant, median_method)
     gen = ensure_rng(rng)
     fraction = config.count_fraction if count_fraction is None else count_fraction
 
@@ -208,4 +223,86 @@ def _build_cell_kdtree(
         accountant=accountant,
         structure_epsilon_charged=eps_grid,
         layout=layout,
+    )
+
+
+def build_private_kdtree_releases(
+    points: np.ndarray,
+    domain: Domain,
+    height: int,
+    epsilons,
+    repetitions: int = 1,
+    variant: "str | KDTreeConfig" = "kd-hybrid",
+    count_budget: str = "geometric",
+    postprocess: bool = True,
+    prune_threshold: Optional[float] = None,
+    switch_level: Optional[int] = None,
+    count_fraction: Optional[float] = None,
+    cell_resolution: int = 256,
+    cell_budget_fraction: float = 0.3,
+    median_method: Optional[str] = None,
+    rng: RngLike = None,
+) -> PSDReleaseBatch:
+    """Build ``len(epsilons) * repetitions`` releases of one kd-tree variant.
+
+    Data-dependent variants (standard / hybrid / noisy-mean, and the exact
+    -median baselines) build all releases' trees through stacked level splits
+    — one ragged-batch private-median call per level covering every release —
+    while staying bitwise identical to the sequential
+    :func:`build_private_kdtree` loop under the same seed.  The cell-based
+    variant releases a fresh noisy grid per release (its structure budget is
+    spent per release, exactly as the sequential loop spends it), so it runs
+    the sequential path and only shares the downstream evaluation machinery.
+    """
+    config = _resolve_kdtree_config(variant, median_method)
+    gen = ensure_rng(rng)
+    fraction = config.count_fraction if count_fraction is None else count_fraction
+    eps_list = [float(e) for e in epsilons]
+
+    if config.cell_based:
+        # A fresh grid is charged and released per (epsilon, repetition), so
+        # structure cannot be shared across releases; the sequential builds
+        # are collected into a list-mode batch.
+        psds = [
+            _build_cell_kdtree(
+                points=points, domain=domain, height=height, epsilon=e,
+                count_budget=count_budget, postprocess=postprocess,
+                prune_threshold=prune_threshold, cell_resolution=cell_resolution,
+                cell_budget_fraction=cell_budget_fraction, rng=gen,
+                name=config.name,
+            )
+            for e in eps_list
+            for _ in range(repetitions)
+        ]
+        release_eps = np.repeat(np.asarray(eps_list), repetitions)
+        count_eps = np.asarray([p.count_epsilons for p in psds], dtype=float)
+        return PSDReleaseBatch(
+            domain=domain, height=height, fanout=4, name=config.name,
+            epsilons=release_eps, count_epsilons=count_eps,
+            eps_median_per_level=np.zeros(release_eps.shape[0]), dd_levels=(),
+            structure_epsilon_charged=0.0, psds=psds,
+            metadata={"split_rule": "kd-cell", "count_budget": count_budget,
+                      "layout": "flat"},
+        )
+
+    if config.hybrid:
+        kd_levels = switch_level if switch_level is not None else max(1, height // 2)
+        split_rule = HybridSplit(kd_levels=kd_levels, median_method=config.median_method)
+    else:
+        split_rule = KDSplit(median_method=config.median_method)
+
+    return build_psd_releases(
+        points=points,
+        domain=domain,
+        height=height,
+        split_rule=split_rule,
+        epsilons=eps_list,
+        repetitions=repetitions,
+        count_budget=count_budget,
+        budget_split=BudgetSplit(count_fraction=fraction),
+        rng=gen,
+        name=config.name,
+        postprocess=postprocess and not config.noiseless_counts,
+        prune_threshold=prune_threshold,
+        noiseless_counts=config.noiseless_counts,
     )

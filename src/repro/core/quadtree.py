@@ -21,11 +21,25 @@ import numpy as np
 
 from ..geometry.domain import Domain
 from ..privacy.rng import RngLike
-from .builder import build_psd
+from .builder import PSDReleaseBatch, build_psd, build_psd_releases
 from .splits import QuadSplit
 from .tree import PrivateSpatialDecomposition
 
-__all__ = ["QuadtreeConfig", "QUADTREE_VARIANTS", "build_private_quadtree"]
+__all__ = [
+    "QuadtreeConfig",
+    "QUADTREE_VARIANTS",
+    "build_private_quadtree",
+    "build_private_quadtree_releases",
+]
+
+
+def _resolve_quadtree_config(variant: "str | QuadtreeConfig") -> QuadtreeConfig:
+    if isinstance(variant, QuadtreeConfig):
+        return variant
+    key = str(variant).lower()
+    if key not in QUADTREE_VARIANTS:
+        raise KeyError(f"unknown quadtree variant {variant!r}; available: {sorted(QUADTREE_VARIANTS)}")
+    return QUADTREE_VARIANTS[key]
 
 
 @dataclass(frozen=True)
@@ -71,13 +85,7 @@ def build_private_quadtree(
         ``"flat"`` (default, level-vectorized) or ``"pointer"`` (per-node
         reference); identical output for the same seed.
     """
-    if isinstance(variant, QuadtreeConfig):
-        config = variant
-    else:
-        key = str(variant).lower()
-        if key not in QUADTREE_VARIANTS:
-            raise KeyError(f"unknown quadtree variant {variant!r}; available: {sorted(QUADTREE_VARIANTS)}")
-        config = QUADTREE_VARIANTS[key]
+    config = _resolve_quadtree_config(variant)
     return build_psd(
         points=points,
         domain=domain,
@@ -90,4 +98,47 @@ def build_private_quadtree(
         postprocess=config.postprocess,
         prune_threshold=prune_threshold,
         layout=layout,
+    )
+
+
+def build_private_quadtree_releases(
+    points: np.ndarray,
+    domain: Domain,
+    height: int,
+    epsilons,
+    repetitions: int = 1,
+    variant: "str | QuadtreeConfig" = "quad-opt",
+    prune_threshold: Optional[float] = None,
+    rng: RngLike = None,
+    structure=None,
+) -> PSDReleaseBatch:
+    """Build ``len(epsilons) * repetitions`` releases of one quadtree variant.
+
+    The quadtree structure is data independent, so the sweep computes the
+    geometry **once** and draws every release's count noise as one batched
+    tensor; release ``r`` is bitwise identical to the ``r``-th sequential
+    :func:`build_private_quadtree` call with the same seeded generator.  The
+    returned batch serves whole workloads against all releases through one
+    shared query matrix (see :meth:`repro.engine.batch.QueryMatrix.dot`).
+
+    ``structure`` optionally reuses a prebuilt quadtree geometry (a
+    ``FlatTree`` from :func:`~repro.core.flatbuild.build_flat_structure` over
+    the same points/domain/height) across several variant batches — the
+    geometry consumes no randomness, so every release stays bitwise
+    identical.
+    """
+    config = _resolve_quadtree_config(variant)
+    return build_psd_releases(
+        points=points,
+        domain=domain,
+        height=height,
+        split_rule=QuadSplit(),
+        epsilons=epsilons,
+        repetitions=repetitions,
+        count_budget=config.count_budget,
+        rng=rng,
+        name=config.name,
+        postprocess=config.postprocess,
+        prune_threshold=prune_threshold,
+        structure=structure,
     )

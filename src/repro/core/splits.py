@@ -95,6 +95,51 @@ def _segment_sorted_order(values: np.ndarray, seg: np.ndarray,
     return by_value[np.argsort(seg[by_value], kind="stable")]
 
 
+def _level_epsilons(epsilon_median, k: int) -> Optional[Tuple[np.ndarray, bool]]:
+    """Normalise a scalar-or-per-node median budget into a ``(k,)`` vector.
+
+    Returns ``(per_node_epsilons, has_budget)`` where ``has_budget`` is true
+    when *every* node has a positive budget, or ``None`` for a mixed
+    zero/positive vector — the draw layout of a level must be uniform across
+    its nodes, so mixed levels have no vectorized path.  The multi-release
+    sweep passes one epsilon per stacked node (releases differ in budget);
+    single-release callers keep passing a scalar.
+    """
+    eps = np.asarray(epsilon_median, dtype=float)
+    if eps.ndim == 0:
+        eps = np.full(k, float(eps))
+    elif eps.shape != (k,):
+        raise ValueError("epsilon_median must be a scalar or hold one value per node")
+    positive = eps > 0
+    if positive.all():
+        return eps, True
+    if not positive.any():
+        return eps, False
+    return None
+
+
+def _method_level_draws(method, n_nodes: int, stages: int, epsilon_median) -> Optional[int]:
+    """Uniforms a ``split_level`` with ``stages`` median stages consumes, or ``None``.
+
+    Shared by :meth:`KDSplit.level_random_draws` (three stages: one x-median
+    plus two y-medians per node) and the Hilbert binary split (one stage).
+    """
+    if method is true_median:
+        return 0
+    eps = np.asarray(epsilon_median, dtype=float)
+    if not np.any(eps > 0):
+        return 0
+    if not np.all(eps > 0):
+        return None
+    batch = getattr(method, "batch", None)
+    draws_per_call = getattr(method, "draws_per_call", None)
+    if batch is None or draws_per_call is None:
+        return None
+    if int(getattr(method, "draws_per_value", 0)) != 0:
+        return None  # sampled methods consume one uniform per point: data dependent
+    return stages * int(draws_per_call) * n_nodes
+
+
 def _partition(rect_list: List[Rect], points: np.ndarray, domain: Domain) -> List[SplitResult]:
     """Route points to child rectangles with domain-aware half-open membership."""
     results: List[SplitResult] = []
@@ -140,6 +185,21 @@ class SplitRule(ABC):
         """Levels (of the node being split) whose splits consume median budget."""
         return [level for level in range(1, height + 1) if self.is_data_dependent(level, height)]
 
+    def level_random_draws(
+        self, level: int, height: int, n_nodes: int, epsilon_median: float
+    ) -> Optional[int]:
+        """Exact ``Generator.random`` uniforms :meth:`split_level` consumes, or ``None``.
+
+        The multi-release builder pre-draws every release's uniforms in
+        sequential (release-major) order and replays them into level-stacked
+        calls, which is only possible when the per-level consumption is known
+        *before* any data is seen.  Rules whose consumption is data dependent
+        (sampled medians draw one uniform per point) or that have no vectorized
+        path at all return ``None``, sending the sweep down the sequential
+        fallback.
+        """
+        return None
+
     def split_level(
         self,
         lo: np.ndarray,
@@ -180,6 +240,9 @@ class QuadSplit(SplitRule):
 
     def split(self, rect, points, level, height, domain, epsilon_median, rng=None):
         return _partition(list(rect.quad_children()), points, domain)
+
+    def level_random_draws(self, level, height, n_nodes, epsilon_median):
+        return 0  # data independent: midpoint splits never touch the RNG
 
     def split_level(self, lo, hi, points, point_node, level, height, domain,
                     epsilon_median, rng=None):
@@ -302,6 +365,13 @@ class KDSplit(SplitRule):
             children.extend(_partition([lo_rect, hi_rect], half_points, domain))
         return children
 
+    def level_random_draws(self, level, height, n_nodes, epsilon_median):
+        # Per node: one stage-A median plus two stage-B medians, each drawing
+        # ``draws_per_call`` uniforms — the exact layout of ``split_level``.
+        return _method_level_draws(
+            resolve_median_method(self.median_method), n_nodes, 3, epsilon_median
+        )
+
     def split_level(self, lo, hi, points, point_node, level, height, domain,
                     epsilon_median, rng=None):
         """Split a whole level with one batched private median per stage.
@@ -330,8 +400,12 @@ class KDSplit(SplitRule):
             return None  # stage B's domain would depend on stage A's cut
         k = lo.shape[0]
         method_is_private = method is not true_median
-        eps_stage = epsilon_median / 2.0 if method_is_private else 0.0
-        needs_draws = method_is_private and eps_stage > 0
+        level_eps = _level_epsilons(epsilon_median, k)
+        if level_eps is None:
+            return None  # mixed zero/positive budgets: no uniform draw layout
+        eps_nodes, has_budget = level_eps
+        eps_stage = eps_nodes / 2.0 if method_is_private else np.zeros(k)
+        needs_draws = method_is_private and has_budget
         draws_per_call = getattr(method, "draws_per_call", None)
         if needs_draws and (batch is None or draws_per_call is None):
             return None
@@ -366,7 +440,7 @@ class KDSplit(SplitRule):
                 node_base = np.concatenate(([0], np.cumsum(per_node)))
                 u_level = gen.random(int(node_base[-1]))
 
-        def run_batch(sorted_vals, offs, seg_lo, seg_hi, uniforms):
+        def run_batch(sorted_vals, offs, seg_lo, seg_hi, uniforms, eps_vec):
             if not method_is_private:
                 return np.asarray(true_median_batch(sorted_vals, offs, 1.0, seg_lo, seg_hi,
                                                     validate=False))
@@ -374,7 +448,6 @@ class KDSplit(SplitRule):
                 # No budget left for these splits: the data-independent (and
                 # therefore free) midpoint, as in the scalar ``_median``.
                 return (seg_lo + seg_hi) / 2.0
-            eps_vec = np.full(offs.size - 1, eps_stage)
             return np.asarray(batch(sorted_vals, offs, eps_vec, seg_lo, seg_hi,
                                     uniforms=uniforms, validate=False))
 
@@ -397,7 +470,7 @@ class KDSplit(SplitRule):
                                + np.arange(d)[None, :]]
                 uni_a = (mask_u, em_u)
         sorted_a = vals_a if order_a is None else vals_a[order_a]
-        split_a = run_batch(sorted_a, offs_a, lo_a, hi_a, uni_a)
+        split_a = run_batch(sorted_a, offs_a, lo_a, hi_a, uni_a, eps_stage)
         split_a = np.minimum(np.maximum(split_a, lo_a), hi_a)  # Rect.split_at clamp
 
         duplicated = False
@@ -444,7 +517,8 @@ class KDSplit(SplitRule):
                 mask_u = u_level[b_start[seg_sorted] + rank]
                 em_u = u_level[(b_start + counts_b)[:, None] + np.arange(d)[None, :]]
                 uni_b = (mask_u, em_u)
-        split_b = run_batch(vals_b[order_b], offs_b, lo_b, hi_b, uni_b)
+        split_b = run_batch(vals_b[order_b], offs_b, lo_b, hi_b, uni_b,
+                            np.repeat(eps_stage, 2))
         split_b = np.minimum(np.maximum(split_b, lo_b), hi_b)
 
         if n_pts:
@@ -518,6 +592,12 @@ class HybridSplit(SplitRule):
                 rect, points, level, height, domain, epsilon_median, rng=rng
             )
         return QuadSplit().split(rect, points, level, height, domain, 0.0, rng=rng)
+
+    def level_random_draws(self, level, height, n_nodes, epsilon_median):
+        if self.is_data_dependent(level, height):
+            return KDSplit(median_method=self.median_method).level_random_draws(
+                level, height, n_nodes, epsilon_median)
+        return 0
 
     def split_level(self, lo, hi, points, point_node, level, height, domain,
                     epsilon_median, rng=None):

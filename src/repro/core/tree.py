@@ -263,6 +263,18 @@ class PrivateSpatialDecomposition:
 
         return compiled_engine(self)
 
+    def batch_range_query(self, queries, use_uniformity: bool = True):
+        """Answer a whole workload in one vectorized pass over the flat engine.
+
+        Compiles (and memoises) the engine on first use; per-query results
+        equal ``range_query(q, backend="flat")``.  This is the serving path
+        the experiment runners use — per-query closures over ``range_query``
+        are never needed for evaluation.
+        """
+        from ..engine.batch import batch_range_query as _batch_range_query
+
+        return _batch_range_query(self.compile(), queries, use_uniformity=use_uniformity)
+
     # ------------------------------------------------------------------
     # Post-processing and pruning (released-data transformations)
     # ------------------------------------------------------------------

@@ -48,7 +48,14 @@ time) or when you need the actual :class:`~repro.core.tree.PSDNode` objects,
 e.g. :func:`~repro.core.query.contributing_nodes` for introspection.
 """
 
-from .batch import BatchQueryResult, batch_nodes_touched, batch_query, batch_range_query
+from .batch import (
+    BatchQueryResult,
+    QueryMatrix,
+    batch_nodes_touched,
+    batch_query,
+    batch_range_query,
+    compile_query_matrix,
+)
 from .cache import CachedEngine, QueryCache, canonical_rect_key
 from .flat import (
     FlatPSD,
@@ -66,9 +73,11 @@ __all__ = [
     "compiled_engine",
     "invalidate_compiled_engine",
     "BatchQueryResult",
+    "QueryMatrix",
     "batch_query",
     "batch_range_query",
     "batch_nodes_touched",
+    "compile_query_matrix",
     "QueryCache",
     "CachedEngine",
     "canonical_rect_key",

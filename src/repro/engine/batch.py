@@ -34,9 +34,11 @@ from .flat import FlatPSD, expand_ranges
 
 __all__ = [
     "BatchQueryResult",
+    "QueryMatrix",
     "batch_query",
     "batch_range_query",
     "batch_nodes_touched",
+    "compile_query_matrix",
     "queries_to_arrays",
 ]
 
@@ -223,3 +225,177 @@ def batch_nodes_touched(
 ) -> np.ndarray:
     """The ``(Q,)`` per-query ``n(Q)`` values."""
     return batch_query(engine, queries).nodes_touched
+
+
+# ----------------------------------------------------------------------
+# Workload algebra: queries as a sparse incidence matrix over the nodes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueryMatrix:
+    """A workload compiled to a sparse query-to-node incidence matrix ``S``.
+
+    Row ``q`` holds the canonical decomposition of query ``q`` over one tree
+    *structure*: weight ``1`` for every exact-cover node and the uniformity
+    fraction ``overlap / area`` for every partially covered boundary leaf.
+    The decomposition depends only on the geometry and the released-count
+    pattern — never on the count *values* — so one matrix answers the same
+    workload against **any number of noisy releases** of that structure:
+    ``S @ counts_matrix`` replaces one frontier traversal per release.
+
+    Stored in CSR form (``indptr`` / ``indices`` / ``weights``) with a
+    ``partial`` mask so both uniformity modes are served by the same matrix.
+    """
+
+    indptr: np.ndarray   # (Q + 1,) row offsets into the entry arrays
+    indices: np.ndarray  # (nnz,) node index of each entry
+    weights: np.ndarray  # (nnz,) 1.0 for full nodes, the fraction for partial leaves
+    partial: np.ndarray  # (nnz,) True where the entry is a partial boundary leaf
+    n_nodes: int
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.indptr.shape[0] - 1)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.shape[0])
+
+    def nodes_touched(self) -> np.ndarray:
+        """Per-query ``n(Q)``: identical to :attr:`BatchQueryResult.nodes_touched`."""
+        return np.diff(self.indptr)
+
+    def _row_sums(self, contrib: np.ndarray) -> np.ndarray:
+        """Sum per-entry contributions into per-query rows (CSR row reduce).
+
+        Entries are sorted by query, so consecutive non-empty rows are
+        contiguous segments and ``reduceat`` sums each exactly once; empty
+        rows (which ``reduceat`` cannot represent) stay zero.
+        """
+        out = np.zeros((self.n_queries,) + contrib.shape[1:], dtype=np.float64)
+        starts = self.indptr[:-1]
+        nonempty = starts != self.indptr[1:]
+        if np.any(nonempty):
+            out[nonempty] = np.add.reduceat(contrib, starts[nonempty], axis=0)
+        return out
+
+    def dot(self, counts: np.ndarray, use_uniformity: bool = True) -> np.ndarray:
+        """``S @ counts`` — estimates for one or many releases at once.
+
+        ``counts`` is the engine's ``released`` vector (``(n_nodes,)``) or a
+        ``(n_nodes, R)`` matrix of released counts, one column per release;
+        the result has shape ``(Q,)`` or ``(Q, R)`` accordingly and matches
+        :func:`batch_range_query` per release up to float summation order.
+        """
+        counts = np.asarray(counts, dtype=np.float64)
+        if counts.shape[0] != self.n_nodes:
+            raise ValueError(
+                f"counts has {counts.shape[0]} rows, matrix was compiled over "
+                f"{self.n_nodes} nodes"
+            )
+        weights = self.weights
+        if not use_uniformity:
+            weights = np.where(self.partial, 0.0, weights)
+        gathered = counts[self.indices]
+        contrib = gathered * (weights if counts.ndim == 1 else weights[:, None])
+        return self._row_sums(contrib)
+
+    def variances(self, level_variance: np.ndarray, node_levels: np.ndarray) -> np.ndarray:
+        """Per-query ``Err(Q)`` under the given per-level count variances.
+
+        ``level_variance`` may be ``(height + 1,)`` or ``(height + 1, R)`` —
+        releases under different budgets share the decomposition but not the
+        variance, so the level axis is the only per-release input needed.
+        """
+        var = np.asarray(level_variance, dtype=np.float64)[np.asarray(node_levels)[self.indices]]
+        w2 = self.weights * self.weights
+        contrib = var * (w2 if var.ndim == 1 else w2[:, None])
+        return self._row_sums(contrib)
+
+
+def compile_query_matrix(
+    engine: FlatPSD, queries: Union[Iterable[QueryInput], np.ndarray]
+) -> QueryMatrix:
+    """Compile a workload's canonical decompositions into a :class:`QueryMatrix`.
+
+    One frontier pass (the same level-synchronous expansion as
+    :func:`batch_query`) records, instead of accumulating, every (query, node,
+    weight) obligation: full nodes with weight 1 and partially covered leaves
+    with their uniformity fraction.  ``S.dot(engine.released)`` then equals
+    ``batch_range_query(engine, queries)`` up to float summation order, and
+    ``S.dot(counts_matrix)`` evaluates every release of a sweep in one product.
+    """
+    qlo, qhi = queries_to_arrays(queries, engine.dims)
+    n_queries = qlo.shape[0]
+    q_parts = []
+    n_parts = []
+    w_parts = []
+    p_parts = []
+    if n_queries and engine.n_nodes:
+        q_idx = np.arange(n_queries, dtype=np.int64)
+        n_idx = np.zeros(n_queries, dtype=np.int64)
+        while q_idx.size:
+            node_lo = engine.lo[n_idx]
+            node_hi = engine.hi[n_idx]
+            cur_qlo = qlo[q_idx]
+            cur_qhi = qhi[q_idx]
+
+            intersects = np.all((node_hi > cur_qlo) & (cur_qhi > node_lo), axis=1)
+            if not intersects.all():
+                q_idx = q_idx[intersects]
+                n_idx = n_idx[intersects]
+                node_lo = node_lo[intersects]
+                node_hi = node_hi[intersects]
+                cur_qlo = cur_qlo[intersects]
+                cur_qhi = cur_qhi[intersects]
+                if not q_idx.size:
+                    break
+
+            contained = np.all((node_lo >= cur_qlo) & (node_hi <= cur_qhi), axis=1)
+            has_count = engine.has_count[n_idx]
+            leaf = engine.is_leaf[n_idx]
+
+            full = contained & has_count
+            if full.any():
+                q_parts.append(q_idx[full])
+                n_parts.append(n_idx[full])
+                w_parts.append(np.ones(int(full.sum())))
+                p_parts.append(np.zeros(int(full.sum()), dtype=bool))
+
+            partial = leaf & has_count & ~contained
+            if partial.any():
+                pn = n_idx[partial]
+                node_area = engine.area[pn]
+                overlap = np.prod(
+                    np.minimum(node_hi[partial], cur_qhi[partial])
+                    - np.maximum(node_lo[partial], cur_qlo[partial]),
+                    axis=1,
+                )
+                ok = (node_area > 0) & (overlap > 0)
+                if ok.any():
+                    q_parts.append(q_idx[partial][ok])
+                    n_parts.append(pn[ok])
+                    w_parts.append(overlap[ok] / node_area[ok])
+                    p_parts.append(np.ones(int(ok.sum()), dtype=bool))
+
+            descend = ~full & ~leaf
+            q_idx, n_idx = _expand_children(
+                q_idx[descend], engine.child_start[n_idx[descend]],
+                engine.child_end[n_idx[descend]]
+            )
+
+    if q_parts:
+        q_all = np.concatenate(q_parts)
+        order = np.argsort(q_all, kind="stable")
+        q_all = q_all[order]
+        indices = np.concatenate(n_parts)[order]
+        weights = np.concatenate(w_parts)[order]
+        partial = np.concatenate(p_parts)[order]
+    else:
+        q_all = np.empty(0, dtype=np.int64)
+        indices = np.empty(0, dtype=np.int64)
+        weights = np.empty(0)
+        partial = np.empty(0, dtype=bool)
+    counts_per_query = np.bincount(q_all, minlength=n_queries)
+    indptr = np.concatenate(([0], np.cumsum(counts_per_query)))
+    return QueryMatrix(indptr=indptr, indices=indices, weights=weights,
+                       partial=partial, n_nodes=engine.n_nodes)

@@ -190,6 +190,15 @@ class FlatPSD:
 
         return float(batch_query(self, [query]).variances[0])
 
+    def query_matrix(self, queries):
+        """Compile a workload into a sparse query-to-node matrix over this
+        structure (see :func:`repro.engine.batch.compile_query_matrix`):
+        the decomposition of every query, reusable against any number of
+        noisy releases of the same structure via ``matrix.dot(counts)``."""
+        from .batch import compile_query_matrix
+
+        return compile_query_matrix(self, queries)
+
 
 def level_variances(count_epsilons) -> np.ndarray:
     """Per-level count variance ``2 / eps_i^2`` (zero for unreleased levels).

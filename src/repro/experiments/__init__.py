@@ -5,7 +5,17 @@ from .ablations import (
     run_geometric_ratio_ablation,
     run_switch_level_ablation,
 )
-from .common import ExperimentScale, evaluate_tree, format_table, make_dataset, make_workloads
+from .common import (
+    ExperimentScale,
+    SweepCase,
+    evaluate_psd,
+    evaluate_tree,
+    format_table,
+    make_dataset,
+    make_workloads,
+    release_workload_errors,
+    run_sweep,
+)
 from .fig2 import run_fig2
 from .fig3 import run_fig3
 from .fig4 import run_fig4
@@ -15,9 +25,13 @@ from .fig7 import run_fig7a, run_fig7b
 
 __all__ = [
     "ExperimentScale",
+    "SweepCase",
     "make_dataset",
     "make_workloads",
     "evaluate_tree",
+    "evaluate_psd",
+    "release_workload_errors",
+    "run_sweep",
     "format_table",
     "run_fig2",
     "run_fig3",

@@ -25,7 +25,7 @@ from ..core.kdtree import build_private_kdtree
 from ..geometry.domain import TIGER_DOMAIN, Domain
 from ..privacy.rng import RngLike, ensure_rng
 from ..queries.workload import KD_QUERY_SHAPES, QueryShape
-from .common import ExperimentScale, evaluate_tree, make_dataset, make_workloads
+from .common import ExperimentScale, evaluate_psd, make_dataset, make_workloads
 from .fig5 import PAPER_PRUNE_THRESHOLD
 
 __all__ = ["run_budget_split_ablation", "run_switch_level_ablation", "run_geometric_ratio_ablation"]
@@ -51,7 +51,7 @@ def run_budget_split_ablation(
             pts, domain, height=scale.kd_height, epsilon=epsilon, variant="kd-standard",
             count_fraction=float(fraction), prune_threshold=PAPER_PRUNE_THRESHOLD, rng=gen,
         )
-        errors = evaluate_tree(psd.range_query, workloads)
+        errors = evaluate_psd(psd, workloads)
         for label, err in errors.items():
             rows.append(
                 {
@@ -84,7 +84,7 @@ def run_switch_level_ablation(
             pts, domain, height=scale.kd_height, epsilon=epsilon, variant="kd-hybrid",
             switch_level=int(level), prune_threshold=PAPER_PRUNE_THRESHOLD, rng=gen,
         )
-        errors = evaluate_tree(psd.range_query, workloads)
+        errors = evaluate_psd(psd, workloads)
         for label, err in errors.items():
             rows.append(
                 {

@@ -10,12 +10,34 @@ time.  The defaults are deliberately smaller than the paper's setup (which
 uses 1.63 M points and 600 queries per shape) so the whole benchmark suite
 finishes in minutes; ``ExperimentScale.paper()`` restores the full-scale
 parameters.
+
+The sweep driver
+----------------
+The paper's evaluation is one shape repeated across Figures 3, 5 and 6: for
+every grid point (a variant at a budget, a method at a height, ...) build
+``repetitions`` fresh noisy releases and score each on fixed workloads.
+:func:`run_sweep` is that loop made first class.  Each :class:`SweepCase`
+builds its releases **as a batch** (see
+:func:`repro.core.builder.build_psd_releases`); evaluation then takes the
+fastest route available per batch:
+
+* releases sharing one query structure (data-independent trees, unpruned) are
+  scored through a single sparse query-to-node matrix per workload — one
+  ``S @ counts`` product replaces one tree traversal per release;
+* everything else (per-release geometry, pruned trees, Hilbert planar views)
+  compiles one flat engine per release and evaluates each workload as one
+  vectorized batch.
+
+Per-release workload errors come out as matrices and are reduced by the
+matrix-form :func:`repro.queries.metrics.median_relative_error`; the driver
+finally averages the per-release medians over each case's repetitions, which
+is exactly the aggregation the per-release loops used to do.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,8 +48,9 @@ from ..privacy.rng import RngLike, ensure_rng
 from ..queries.metrics import median_relative_error
 from ..queries.workload import QueryShape, QueryWorkload, generate_workload
 
-__all__ = ["ExperimentScale", "make_dataset", "make_workloads", "evaluate_tree",
-           "evaluate_psd", "format_table"]
+__all__ = ["ExperimentScale", "SweepCase", "make_dataset", "make_workloads",
+           "evaluate_tree", "evaluate_psd", "format_table",
+           "release_workload_errors", "run_sweep"]
 
 
 @dataclass(frozen=True)
@@ -120,6 +143,174 @@ def evaluate_psd(
         estimates = np.asarray(batch_range_query(engine, workload.queries))
         out[label] = median_relative_error(estimates, workload.true_answers)
     return out
+
+
+# ----------------------------------------------------------------------
+# The sweep driver: many releases, sparse workload algebra end to end
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepCase:
+    """One grid point of a sweep: a release builder plus per-release row keys.
+
+    ``build(gen)`` returns a release collection — a
+    :class:`~repro.core.builder.PSDReleaseBatch`, a
+    :class:`~repro.core.hilbert_rtree.HilbertRTreeReleases`, or any object
+    with ``n_releases`` and ``release(r)`` (releases must expose
+    ``compile()``); a plain sequence of built PSDs also works.  ``keys[r]``
+    is the row-identifying dict of release ``r`` (e.g. ``{"epsilon": 0.5,
+    "variant": "quad-opt"}``); releases sharing a key are that grid point's
+    repetitions and their errors are averaged into one row.
+    """
+
+    label: str
+    keys: Tuple[Mapping[str, object], ...]
+    build: Callable[[np.random.Generator], object]
+
+
+class _SequenceReleases:
+    """Adapter giving a plain list of releases the collection protocol."""
+
+    def __init__(self, items: Sequence) -> None:
+        self._items = list(items)
+
+    @property
+    def n_releases(self) -> int:
+        return len(self._items)
+
+    def release(self, r: int):
+        return self._items[r]
+
+
+def _as_release_collection(obj):
+    if hasattr(obj, "n_releases") and hasattr(obj, "release"):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return _SequenceReleases(obj)
+    raise TypeError(
+        f"a SweepCase build must return a release collection or a sequence, got {type(obj)!r}"
+    )
+
+
+def _structure_fingerprint(engine) -> Tuple:
+    """A content hash of everything a query decomposition depends on.
+
+    Two engines with equal fingerprints decompose every query identically, so
+    their query matrices are interchangeable — this is what lets a sweep over
+    several *variants* of one data-independent structure (identical geometry,
+    different budgets/noise) compile each workload matrix once.
+    """
+    import hashlib
+
+    digest = hashlib.sha1()
+    for array in (engine.lo, engine.hi, engine.child_start, engine.child_end,
+                  engine.has_count, engine.is_leaf):
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return (engine.n_nodes, digest.hexdigest())
+
+
+def _workload_fingerprint(workload: QueryWorkload) -> Tuple:
+    """A content hash of a workload's query rectangles.
+
+    Part of the matrix-cache key, so two workloads that merely share a shape
+    label (e.g. regenerated ``(5, 5)`` queries) can never alias each other's
+    compiled matrices.
+    """
+    import hashlib
+
+    coords = np.asarray([(*q.lo, *q.hi) for q in workload.queries], dtype=float)
+    return (len(workload.queries), hashlib.sha1(coords.tobytes()).hexdigest())
+
+
+def release_workload_errors(
+    releases,
+    workloads: Dict[str, QueryWorkload],
+    matrix_cache: Optional[Dict] = None,
+) -> Dict[str, np.ndarray]:
+    """Median relative error of every release on every workload.
+
+    Returns ``{shape label: (R,) per-release medians}``.  Batches whose
+    releases share one query structure are evaluated through a single
+    compiled query matrix per workload (``S @ counts`` for all releases at
+    once); otherwise each release's flat engine answers each workload as one
+    vectorized batch.  Pass a dict as ``matrix_cache`` to reuse compiled
+    query matrices across calls; entries are keyed by (structure, queries)
+    content fingerprints, so only batches that decompose the *same* queries
+    over the *same* geometry share a matrix (e.g. the four quadtree variants
+    of one sweep on its fixed workloads).
+    """
+    from ..core.builder import PSDReleaseBatch
+    from ..engine.batch import batch_range_query, compile_query_matrix
+
+    collection = _as_release_collection(releases)
+    if isinstance(collection, PSDReleaseBatch) and collection.supports_shared_queries():
+        engine = collection.query_engine()
+        counts = collection.released_matrix()  # (n_nodes, R)
+        fingerprint = None if matrix_cache is None else _structure_fingerprint(engine)
+        out: Dict[str, np.ndarray] = {}
+        for label, workload in workloads.items():
+            if matrix_cache is None:
+                matrix = compile_query_matrix(engine, workload.queries)
+            else:
+                key = (fingerprint, _workload_fingerprint(workload))
+                matrix = matrix_cache.get(key)
+                if matrix is None:
+                    matrix = compile_query_matrix(engine, workload.queries)
+                    matrix_cache[key] = matrix
+            estimates = matrix.dot(counts)  # (Q, R)
+            out[label] = np.atleast_1d(
+                median_relative_error(estimates.T, workload.true_answers)
+            )
+        return out
+
+    n = collection.n_releases
+    out = {label: np.empty(n) for label in workloads}
+    for r in range(n):
+        engine = collection.release(r).compile()
+        for label, workload in workloads.items():
+            estimates = batch_range_query(engine, workload.queries)
+            out[label][r] = median_relative_error(estimates, workload.true_answers)
+    return out
+
+
+def run_sweep(
+    cases: Sequence[SweepCase],
+    workloads: Dict[str, QueryWorkload],
+    rng: RngLike = None,
+) -> List[Dict[str, object]]:
+    """Run every case of a sweep and aggregate repetitions into result rows.
+
+    For each case the releases are built as one batch, scored on every
+    workload, and the per-release median errors of releases sharing a row key
+    are averaged.  Rows carry the key's fields plus ``shape`` and
+    ``median_rel_error_pct`` — the exact schema of the historical per-release
+    loops, so tables, benchmarks and JSON consumers are unaffected.
+    """
+    gen = ensure_rng(rng)
+    rows: List[Dict[str, object]] = []
+    matrix_cache: Dict = {}  # shared across cases: same structure -> same matrices
+    for case in cases:
+        releases = case.build(gen)
+        collection = _as_release_collection(releases)
+        if len(case.keys) != collection.n_releases:
+            raise ValueError(
+                f"case {case.label!r} declares {len(case.keys)} release keys but "
+                f"built {collection.n_releases} releases"
+            )
+        errors = release_workload_errors(collection, workloads, matrix_cache=matrix_cache)
+        groups: Dict[Tuple, Tuple[Dict[str, object], List[int]]] = {}
+        for r, key in enumerate(case.keys):
+            frozen = tuple(sorted(key.items()))
+            groups.setdefault(frozen, (dict(key), []))[1].append(r)
+        for key_dict, indices in groups.values():
+            for label, errs in errors.items():
+                rows.append(
+                    {
+                        **key_dict,
+                        "shape": label,
+                        "median_rel_error_pct": 100.0 * float(np.mean(errs[indices])),
+                    }
+                )
+    return rows
 
 
 def format_table(rows: Iterable[Dict[str, object]], columns: Sequence[str], title: str = "") -> str:

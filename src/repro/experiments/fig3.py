@@ -11,9 +11,11 @@ error of four quadtree configurations grown to the same height:
 
 The paper's headline observation is that each optimisation helps individually
 and together they cut the error by up to an order of magnitude, especially at
-small budgets.  The runner rebuilds the *structure* once (it is data
-independent) and redraws the noise for every variant, matching the paper's
-methodology of comparing variants on identical data and workloads.
+small budgets.  Each variant runs as **one** :class:`~repro.experiments.common.SweepCase`:
+the data-independent structure is computed once, all ``(epsilon, repetition)``
+releases draw their noise as one batch, and every workload is scored against
+all releases through a single shared query matrix — the per-release rebuild
+loop of the sequential methodology is gone, with bitwise-identical releases.
 """
 
 from __future__ import annotations
@@ -22,11 +24,11 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.quadtree import QUADTREE_VARIANTS, build_private_quadtree
+from ..core.quadtree import QUADTREE_VARIANTS, build_private_quadtree_releases
 from ..geometry.domain import TIGER_DOMAIN, Domain
 from ..privacy.rng import RngLike, ensure_rng
 from ..queries.workload import PAPER_QUERY_SHAPES, QueryShape
-from .common import ExperimentScale, evaluate_psd, make_dataset, make_workloads
+from .common import ExperimentScale, SweepCase, make_dataset, make_workloads, run_sweep
 
 __all__ = ["run_fig3", "PAPER_EPSILONS"]
 
@@ -47,25 +49,28 @@ def run_fig3(
     gen = ensure_rng(rng)
     pts = make_dataset(scale, rng=gen) if points is None else domain.validate_points(points)
     workloads = make_workloads(pts, shapes, scale, domain=domain, rng=gen)
+    eps_list = tuple(float(e) for e in epsilons)
 
-    rows: List[Dict[str, object]] = []
-    for epsilon in epsilons:
-        for variant in variants:
-            errors_accum: Dict[str, List[float]] = {label: [] for label in workloads}
-            for _ in range(scale.repetitions):
-                psd = build_private_quadtree(
-                    pts, domain, height=scale.quad_height, epsilon=epsilon, variant=variant, rng=gen
-                )
-                errors = evaluate_psd(psd, workloads)
-                for label, err in errors.items():
-                    errors_accum[label].append(err)
-            for label, errs in errors_accum.items():
-                rows.append(
-                    {
-                        "epsilon": float(epsilon),
-                        "variant": variant,
-                        "shape": label,
-                        "median_rel_error_pct": 100.0 * float(np.mean(errs)),
-                    }
-                )
-    return rows
+    # One geometry serves every variant's releases: quadtree structure is data
+    # independent and draw-free, so sharing it changes no release bits.
+    from ..core.flatbuild import build_flat_structure
+    from ..core.splits import QuadSplit
+
+    structure = build_flat_structure(pts, domain, scale.quad_height, QuadSplit(), 0.0)
+
+    def case(variant: str) -> SweepCase:
+        def build(case_gen: np.random.Generator):
+            return build_private_quadtree_releases(
+                pts, domain, height=scale.quad_height, epsilons=eps_list,
+                repetitions=scale.repetitions, variant=variant, rng=case_gen,
+                structure=structure,
+            )
+
+        keys = tuple(
+            {"epsilon": e, "variant": variant}
+            for e in eps_list
+            for _ in range(scale.repetitions)
+        )
+        return SweepCase(label=variant, keys=keys, build=build)
+
+    return run_sweep([case(v) for v in variants], workloads, rng=gen)

@@ -24,11 +24,11 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.kdtree import KDTREE_VARIANTS, build_private_kdtree
+from ..core.kdtree import KDTREE_VARIANTS, build_private_kdtree_releases
 from ..geometry.domain import TIGER_DOMAIN, Domain
 from ..privacy.rng import RngLike, ensure_rng
 from ..queries.workload import KD_QUERY_SHAPES, QueryShape
-from .common import ExperimentScale, evaluate_psd, make_dataset, make_workloads
+from .common import ExperimentScale, SweepCase, make_dataset, make_workloads, run_sweep
 
 __all__ = ["run_fig5", "PAPER_EPSILONS", "PAPER_PRUNE_THRESHOLD"]
 
@@ -49,35 +49,32 @@ def run_fig5(
     prune_threshold: float = PAPER_PRUNE_THRESHOLD,
     rng: RngLike = 0,
 ) -> List[Dict[str, object]]:
-    """Run the Figure 5 experiment; one row per (epsilon, variant, shape)."""
+    """Run the Figure 5 sweep; one row per (epsilon, variant, shape).
+
+    Each variant is one :class:`~repro.experiments.common.SweepCase` whose
+    ``(epsilon, repetition)`` releases build as a batch — the data-dependent
+    variants stack all releases' private medians into one ragged-batch call
+    per level; the cell-based variant (a fresh noisy grid per release) keeps
+    its sequential builds and shares only the evaluation machinery.
+    """
     gen = ensure_rng(rng)
     pts = make_dataset(scale, rng=gen) if points is None else domain.validate_points(points)
     workloads = make_workloads(pts, shapes, scale, domain=domain, rng=gen)
+    eps_list = tuple(float(e) for e in epsilons)
 
-    rows: List[Dict[str, object]] = []
-    for epsilon in epsilons:
-        for variant in variants:
-            errors_accum: Dict[str, List[float]] = {label: [] for label in workloads}
-            for _ in range(scale.repetitions):
-                psd = build_private_kdtree(
-                    pts,
-                    domain,
-                    height=scale.kd_height,
-                    epsilon=epsilon,
-                    variant=variant,
-                    prune_threshold=prune_threshold,
-                    rng=gen,
-                )
-                errors = evaluate_psd(psd, workloads)
-                for label, err in errors.items():
-                    errors_accum[label].append(err)
-            for label, errs in errors_accum.items():
-                rows.append(
-                    {
-                        "epsilon": float(epsilon),
-                        "variant": variant,
-                        "shape": label,
-                        "median_rel_error_pct": 100.0 * float(np.mean(errs)),
-                    }
-                )
-    return rows
+    def case(variant: str) -> SweepCase:
+        def build(case_gen: np.random.Generator):
+            return build_private_kdtree_releases(
+                pts, domain, height=scale.kd_height, epsilons=eps_list,
+                repetitions=scale.repetitions, variant=variant,
+                prune_threshold=prune_threshold, rng=case_gen,
+            )
+
+        keys = tuple(
+            {"epsilon": e, "variant": variant}
+            for e in eps_list
+            for _ in range(scale.repetitions)
+        )
+        return SweepCase(label=variant, keys=keys, build=build)
+
+    return run_sweep([case(v) for v in variants], workloads, rng=gen)

@@ -23,13 +23,13 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.hilbert_rtree import build_private_hilbert_rtree
-from ..core.kdtree import build_private_kdtree
-from ..core.quadtree import build_private_quadtree
+from ..core.hilbert_rtree import build_private_hilbert_rtree_releases
+from ..core.kdtree import build_private_kdtree_releases
+from ..core.quadtree import build_private_quadtree_releases
 from ..geometry.domain import TIGER_DOMAIN, Domain
 from ..privacy.rng import RngLike, ensure_rng
 from ..queries.workload import KD_QUERY_SHAPES, QueryShape
-from .common import ExperimentScale, evaluate_tree, make_dataset, make_workloads
+from .common import ExperimentScale, SweepCase, make_dataset, make_workloads, run_sweep
 from .fig5 import PAPER_PRUNE_THRESHOLD
 
 __all__ = ["run_fig6", "PAPER_HEIGHTS", "FIG6_METHODS"]
@@ -54,52 +54,51 @@ def run_fig6(
 ) -> List[Dict[str, object]]:
     """Run the Figure 6 sweep; one row per (method, height, shape).
 
-    The default ``heights`` stop at 8 to keep pure-Python tree sizes modest;
+    Every (method, height) grid point is one sweep case building its
+    ``scale.repetitions`` releases as a batch and evaluating them on the flat
+    batch backend — the Hilbert R-tree through its compiled planar engine, so
+    no per-query ``range_query`` closures remain anywhere in the runner.
+
+    The default ``heights`` stop at 8 to keep default-scale runtimes modest;
     pass ``heights=PAPER_HEIGHTS`` for the full sweep of the paper.
     """
     gen = ensure_rng(rng)
     pts = make_dataset(scale, rng=gen) if points is None else domain.validate_points(points)
     workloads = make_workloads(pts, shapes, scale, domain=domain, rng=gen)
 
-    rows: List[Dict[str, object]] = []
-    for height in heights:
-        for method in methods:
-            answer_fn = _build_method(method, pts, domain, int(height), epsilon, hilbert_order, gen)
-            errors = evaluate_tree(answer_fn, workloads)
-            for label, err in errors.items():
-                rows.append(
-                    {
-                        "method": method,
-                        "height": int(height),
-                        "shape": label,
-                        "median_rel_error_pct": 100.0 * float(err),
-                    }
-                )
-    return rows
+    cases = [
+        _method_case(method, int(height), pts, domain, float(epsilon),
+                     hilbert_order, scale)
+        for height in heights
+        for method in methods
+    ]
+    return run_sweep(cases, workloads, rng=gen)
 
 
-def _build_method(method, pts, domain, height, epsilon, hilbert_order, rng):
-    """Build one of the Figure 6 structures and return its query-answering callable."""
-    key = method.lower()
+def _method_case(method, height, pts, domain, epsilon, hilbert_order, scale) -> SweepCase:
+    """One sweep case: ``scale.repetitions`` releases of a Figure 6 structure."""
+    key = str(method).lower()
     if key == "quad-opt":
-        psd = build_private_quadtree(pts, domain, height=height, epsilon=epsilon, variant="quad-opt", rng=rng)
-        return psd.range_query
-    if key == "kd-hybrid":
-        psd = build_private_kdtree(
-            pts, domain, height=height, epsilon=epsilon, variant="kd-hybrid",
-            prune_threshold=PAPER_PRUNE_THRESHOLD, rng=rng,
-        )
-        return psd.range_query
-    if key == "kd-cell":
-        psd = build_private_kdtree(
-            pts, domain, height=height, epsilon=epsilon, variant="kd-cell",
-            prune_threshold=PAPER_PRUNE_THRESHOLD, rng=rng,
-        )
-        return psd.range_query
-    if key in ("hilbert-r", "hilbert"):
-        tree = build_private_hilbert_rtree(
-            pts, domain, height=2 * height, epsilon=epsilon, order=hilbert_order,
-            prune_threshold=PAPER_PRUNE_THRESHOLD, rng=rng,
-        )
-        return tree.range_query
-    raise KeyError(f"unknown Figure 6 method {method!r}")
+        def build(gen):
+            return build_private_quadtree_releases(
+                pts, domain, height=height, epsilons=(epsilon,),
+                repetitions=scale.repetitions, variant="quad-opt", rng=gen,
+            )
+    elif key in ("kd-hybrid", "kd-cell"):
+        def build(gen):
+            return build_private_kdtree_releases(
+                pts, domain, height=height, epsilons=(epsilon,),
+                repetitions=scale.repetitions, variant=key,
+                prune_threshold=PAPER_PRUNE_THRESHOLD, rng=gen,
+            )
+    elif key in ("hilbert-r", "hilbert"):
+        def build(gen):
+            return build_private_hilbert_rtree_releases(
+                pts, domain, height=2 * height, epsilons=(epsilon,),
+                repetitions=scale.repetitions, order=hilbert_order,
+                prune_threshold=PAPER_PRUNE_THRESHOLD, rng=gen,
+            )
+    else:
+        raise KeyError(f"unknown Figure 6 method {method!r}")
+    keys = tuple({"method": method, "height": height} for _ in range(scale.repetitions))
+    return SweepCase(label=f"{method}/h{height}", keys=keys, build=build)

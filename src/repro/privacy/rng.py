@@ -5,15 +5,87 @@ sampling, data generators, query workloads) takes an explicit
 ``numpy.random.Generator`` so that experiments are reproducible end to end.
 ``ensure_rng`` is the single normalisation point: it accepts ``None``, an
 integer seed, or an existing generator.
+
+:class:`ReplayRng` is the multi-release build's bridge between two draw
+orders: a sweep pre-draws every release's uniforms **release-major** (the
+order a sequential loop of builds would consume them in), then replays them
+into the level-stacked builder, which asks for each level's uniforms across
+all releases at once.  Because every batched mechanism consumes its uniforms
+through plain ``Generator.random`` calls of statically-known sizes (the draw
+-order contract of :mod:`repro.privacy.median`), replaying re-ordered slices
+of the same stream is enough to keep each release bitwise identical to its
+sequential counterpart.
 """
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Sequence, Union
 
 import numpy as np
 
-__all__ = ["RngLike", "ensure_rng", "spawn_rngs"]
+__all__ = ["RngLike", "ReplayRng", "ensure_rng", "spawn_rngs"]
+
+
+class ReplayRng(np.random.Generator):
+    """A :class:`numpy.random.Generator` that replays pre-drawn uniforms.
+
+    Constructed with an ordered list of uniform chunks; every ``random(n)``
+    call pops the next chunk, which must have exactly ``n`` entries — a
+    mismatch means the caller's draw layout diverged from the pre-draw plan,
+    which would silently break release parity, so it fails loudly instead.
+    Only ``random`` is served from the replay buffer; every other draw method
+    is overridden to raise (see the loop below the class), because a
+    non-uniform draw would silently consume the dummy bit generator and
+    desynchronise the replay from the sequential reference.
+    """
+
+    def __init__(self, chunks: Sequence[np.ndarray]) -> None:
+        # The backing bit generator is never consulted; it only satisfies the
+        # Generator constructor so ``ensure_rng`` passes a replay through.
+        super().__init__(np.random.PCG64(0))
+        self._chunks = [np.asarray(c, dtype=float).ravel() for c in chunks]
+        self._cursor = 0
+
+    def random(self, size=None, dtype=np.float64, out=None):  # type: ignore[override]
+        if out is not None:
+            raise ValueError("ReplayRng.random does not support out=")
+        if self._cursor >= len(self._chunks):
+            raise RuntimeError("ReplayRng exhausted: more random() calls than pre-drawn chunks")
+        chunk = self._chunks[self._cursor]
+        n = 1 if size is None else int(np.prod(size))
+        if chunk.size != n:
+            raise RuntimeError(
+                f"ReplayRng draw-layout mismatch: caller asked for {n} uniforms, "
+                f"pre-drawn chunk {self._cursor} holds {chunk.size}"
+            )
+        self._cursor += 1
+        if size is None:
+            return float(chunk[0])
+        return chunk.reshape(size)
+
+    def exhausted(self) -> bool:
+        """Whether every pre-drawn chunk has been consumed."""
+        return self._cursor == len(self._chunks)
+
+
+def _make_rejecting_draw(name: str):
+    def rejecting(self, *args, **kwargs):
+        raise RuntimeError(
+            f"ReplayRng serves only random(); {name}() would draw from the dummy "
+            "bit generator and silently break release parity"
+        )
+    rejecting.__name__ = name
+    return rejecting
+
+
+# Any non-uniform draw would consume the dummy bit generator instead of the
+# pre-drawn stream; block every Generator draw method except random().
+for _name in dir(np.random.Generator):
+    if _name.startswith("_") or _name in ("random", "bit_generator", "spawn"):
+        continue
+    if callable(getattr(np.random.Generator, _name, None)):
+        setattr(ReplayRng, _name, _make_rejecting_draw(_name))
+del _name
 
 RngLike = Union[None, int, np.random.Generator]
 

@@ -44,29 +44,54 @@ def relative_error(estimate: float, truth: float, sanity_bound: float = 0.001) -
 
 
 def relative_errors(estimates: Sequence[float], truths: Sequence[float]) -> np.ndarray:
-    """Vector of per-query relative errors."""
+    """Per-query relative errors, matrix form included.
+
+    ``estimates`` is either a ``(Q,)`` vector or an ``(R, Q)`` matrix — one
+    row per noisy release of a sweep — evaluated against **one** ``(Q,)``
+    truth vector; the result has the same shape as ``estimates``.  This is the
+    error half of the sweep pipeline's workload algebra: the engine produces
+    the whole estimate matrix in one sparse product and this turns it into
+    per-release error rows in one broadcast pass.
+    """
     est = np.asarray(estimates, dtype=float)
     tru = np.asarray(truths, dtype=float)
-    if est.shape != tru.shape:
-        raise ValueError("estimates and truths must have the same shape")
+    if tru.ndim != 1:
+        raise ValueError("truths must be a one-dimensional vector")
+    if est.ndim not in (1, 2) or est.shape[-1] != tru.shape[0]:
+        raise ValueError(
+            f"estimates must be (Q,) or (R, Q) with Q == {tru.shape[0]}, got {est.shape}"
+        )
     denom = np.where(tru > 0, tru, 1e-12)
     return np.abs(est - tru) / denom
 
 
-def median_relative_error(estimates: Sequence[float], truths: Sequence[float]) -> float:
-    """The paper's workload metric: median of the per-query relative errors."""
+def median_relative_error(estimates: Sequence[float], truths: Sequence[float]):
+    """The paper's workload metric: median of the per-query relative errors.
+
+    For a ``(Q,)`` estimate vector this is the scalar median; for an
+    ``(R, Q)`` matrix it returns the ``(R,)`` per-release medians in one pass
+    (``np.median`` over the query axis).  Empty workloads give ``nan``.
+    """
     errs = relative_errors(estimates, truths)
-    if errs.size == 0:
-        return float("nan")
-    return float(np.median(errs))
+    if errs.shape[-1] == 0:
+        return float("nan") if errs.ndim == 1 else np.full(errs.shape[0], np.nan)
+    if errs.ndim == 1:
+        return float(np.median(errs))
+    return np.median(errs, axis=-1)
 
 
-def mean_relative_error(estimates: Sequence[float], truths: Sequence[float]) -> float:
-    """Mean per-query relative error (reported alongside the median in benches)."""
+def mean_relative_error(estimates: Sequence[float], truths: Sequence[float]):
+    """Mean per-query relative error (reported alongside the median in benches).
+
+    Scalar for a ``(Q,)`` input, ``(R,)`` per-release means for an ``(R, Q)``
+    estimate matrix — same conventions as :func:`median_relative_error`.
+    """
     errs = relative_errors(estimates, truths)
-    if errs.size == 0:
-        return float("nan")
-    return float(np.mean(errs))
+    if errs.shape[-1] == 0:
+        return float("nan") if errs.ndim == 1 else np.full(errs.shape[0], np.nan)
+    if errs.ndim == 1:
+        return float(np.mean(errs))
+    return np.mean(errs, axis=-1)
 
 
 def rank_error(values: np.ndarray, estimate: float, lo: float, hi: float) -> float:
