@@ -51,6 +51,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from hostmeta import host_metadata
 from repro.core import build_private_kdtree, build_private_quadtree
 from repro.core.hilbert_rtree import build_private_hilbert_rtree
 from repro.core.query import nodes_touched, query_variance
@@ -450,6 +451,7 @@ def main(argv=None) -> int:
             "benchmark": "build_throughput",
             "epsilon": args.epsilon,
             "seed": args.seed,
+            "host": host_metadata(),
             "rows": rows,
         }
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -461,6 +463,7 @@ def main(argv=None) -> int:
             "benchmark": "median_throughput",
             "epsilon": args.epsilon,
             "seed": args.seed,
+            "host": host_metadata(),
             "baseline": {
                 "kd_hybrid_pr2_speedup": 4.6,
                 "hilbert_compile_pr1_sec": HILBERT_COMPILE_BASELINE_SEC,

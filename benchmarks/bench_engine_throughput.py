@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from hostmeta import host_metadata
 from repro.core import build_private_hilbert_rtree, build_private_kdtree, build_private_quadtree
 from repro.data import road_intersections
 from repro.engine import batch_range_query, compile_hilbert_rtree, compile_psd
@@ -144,6 +145,7 @@ def main(argv=None) -> int:
     if args.output:
         payload = {
             "benchmark": "engine_throughput",
+            "host": host_metadata(),
             "n_points": args.n_points,
             "n_queries": args.n_queries,
             "epsilon": args.epsilon,

@@ -1,0 +1,278 @@
+"""Multicore execution: process-parallel sweeps and chunked, sharded serving.
+
+Not a paper figure — this benchmark tracks the ROADMAP's "fast as the
+hardware allows" goal for the *multicore* layer added on top of the
+vectorized kernels: the Figure-3 grid (quadtree variants x budgets, with
+repetitions) is split into one :class:`~repro.experiments.common.SweepCase`
+per (variant, epsilon) and executed twice through the same
+:func:`~repro.experiments.common.run_sweep` driver —
+
+* ``workers=1`` — the in-process loop over the spawned per-case RNG streams;
+* ``workers=N`` — the same cases fanned across a ``ProcessPoolExecutor``
+  with the points array, shared structure and precompiled query-matrix CSR
+  buffers riding ``multiprocessing.shared_memory`` views.
+
+**Bitwise parity is asserted before any timing**: the `workers=N` rows must
+equal the `workers=1` rows float for float (the per-case ``SeedSequence``
+spawn contract makes execution order irrelevant), so the speedup can never
+come from computing something else.  A second section checks the serving
+path: chunked ``batch_query`` parity across chunk sizes and a
+:class:`~repro.parallel.serve.ShardedQueryServer` answering a query batch
+identically to the single-process evaluator.
+
+Runnable three ways:
+
+* ``pytest benchmarks/bench_parallel.py`` — benchmark row plus a table under
+  ``benchmarks/results/``;
+* ``python benchmarks/bench_parallel.py --output BENCH_parallel.json`` —
+  standalone; on a host with >= 4 cores the sweep must reach >= 3x over
+  ``workers=1`` or the run exits non-zero (on smaller hosts the speedup is
+  recorded but not gated — there is nothing to parallelise onto);
+* ``python benchmarks/bench_parallel.py --smoke`` — the CI gate: a tiny
+  fig3 grid, workers=2 vs workers=1 bitwise parity plus chunked/sharded
+  serving parity, no speedup requirement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, Sequence
+
+import numpy as np
+
+from hostmeta import host_metadata
+from repro.core.flatbuild import build_flat_structure
+from repro.core.quadtree import QUADTREE_VARIANTS, build_private_quadtree
+from repro.core.splits import QuadSplit
+from repro.data import road_intersections
+from repro.engine.batch import batch_query
+from repro.experiments.common import run_sweep
+from repro.experiments.fig3 import quadtree_sweep_case
+from repro.geometry import TIGER_DOMAIN
+from repro.parallel import ShardedQueryServer
+from repro.queries.workload import PAPER_QUERY_SHAPES, generate_workload
+
+
+def make_inputs(n_points: int, n_queries: int, height: int, seed: int = 0):
+    """The fig3-shaped dataset, workloads and shared quadtree structure."""
+    gen = np.random.default_rng(seed)
+    points = road_intersections(n=n_points, rng=gen)
+    workloads = {
+        shape.label: generate_workload(points, TIGER_DOMAIN, shape,
+                                       n_queries=n_queries, rng=gen)
+        for shape in PAPER_QUERY_SHAPES
+    }
+    structure = build_flat_structure(points, TIGER_DOMAIN, height, QuadSplit(), 0.0)
+    return points, workloads, structure
+
+
+def make_cases(points, structure, height: int, epsilons: Sequence[float],
+               repetitions: int, variants: Sequence[str]):
+    """One sweep case per (variant, epsilon): the unit the pool schedules."""
+    return [
+        quadtree_sweep_case(points, TIGER_DOMAIN, height, (epsilon,), repetitions,
+                            variant, structure)
+        for variant in variants
+        for epsilon in epsilons
+    ]
+
+
+def sweep_section(points, workloads, structure, height: int,
+                  epsilons: Sequence[float], repetitions: int,
+                  variants: Sequence[str], workers: int, seed: int) -> Dict[str, object]:
+    """Parity first, then timed workers=1 vs workers=N runs."""
+    cases = make_cases(points, structure, height, epsilons, repetitions, variants)
+
+    rows_1 = run_sweep(cases, workloads, rng=seed, workers=1)
+    rows_2 = run_sweep(cases, workloads, rng=seed, workers=2)
+    if rows_2 != rows_1:
+        raise AssertionError("workers=2 rows diverge from workers=1 (bitwise)")
+    if workers > 2:
+        rows_n = run_sweep(cases, workloads, rng=seed, workers=workers)
+        if rows_n != rows_1:
+            raise AssertionError(f"workers={workers} rows diverge from workers=1")
+
+    start = time.perf_counter()
+    run_sweep(cases, workloads, rng=seed, workers=1)
+    serial_sec = time.perf_counter() - start
+
+    start = time.perf_counter()
+    run_sweep(cases, workloads, rng=seed, workers=workers)
+    parallel_sec = time.perf_counter() - start
+
+    return {
+        "cases": len(cases),
+        "releases": len(cases) * repetitions,
+        "workers": workers,
+        "workers1_sec": round(serial_sec, 4),
+        "workersN_sec": round(parallel_sec, 4),
+        "speedup": round(serial_sec / parallel_sec, 2) if parallel_sec > 0 else float("inf"),
+        "bitwise_parity": True,
+    }
+
+
+def serving_section(points, n_queries: int, height: int, workers: int,
+                    chunk_queries: int, seed: int) -> Dict[str, object]:
+    """Chunked-evaluator and sharded-server parity plus serving throughput."""
+    gen = np.random.default_rng(seed)
+    psd = build_private_quadtree(points, TIGER_DOMAIN, height=height, epsilon=0.5,
+                                 variant="quad-opt", rng=gen)
+    engine = psd.compile()
+    workload = generate_workload(points, TIGER_DOMAIN, PAPER_QUERY_SHAPES[1],
+                                 n_queries=n_queries, rng=gen)
+    queries = workload.queries
+    q = len(queries)
+
+    reference = batch_query(engine, queries)
+    worst = 0.0
+    for chunk in (1, 64, q, q + 1):
+        result = batch_query(engine, queries, chunk_queries=chunk)
+        if not np.array_equal(result.nodes_touched, reference.nodes_touched):
+            raise AssertionError(f"chunk_queries={chunk}: n(Q) diverged")
+        for got, ref in ((result.estimates, reference.estimates),
+                         (result.variances, reference.variances)):
+            diff = float(np.max(np.abs(got - ref) / np.maximum(1.0, np.abs(ref)))) \
+                if q else 0.0
+            if diff > 1e-9:
+                raise AssertionError(f"chunk_queries={chunk}: drift {diff:.3e} > 1e-9")
+            worst = max(worst, diff)
+
+    start = time.perf_counter()
+    batch_query(engine, queries)
+    direct_sec = time.perf_counter() - start
+
+    with ShardedQueryServer(engine, workers=workers,
+                            chunk_queries=chunk_queries) as server:
+        sharded = server.batch_query(queries)
+        if not (np.array_equal(sharded.estimates, reference.estimates)
+                and np.array_equal(sharded.nodes_touched, reference.nodes_touched)
+                and np.array_equal(sharded.variances, reference.variances)):
+            raise AssertionError("sharded server answers diverge from batch_query")
+        start = time.perf_counter()
+        server.batch_query(queries)
+        sharded_sec = time.perf_counter() - start
+
+    return {
+        "n_queries": q,
+        "chunk_queries": chunk_queries,
+        "chunk_max_rel_diff": worst,
+        "direct_sec": round(direct_sec, 4),
+        "sharded_sec": round(sharded_sec, 4),
+        "direct_qps": round(q / direct_sec) if direct_sec > 0 else float("inf"),
+        "sharded_qps": round(q / sharded_sec) if sharded_sec > 0 else float("inf"),
+        "sharded_parity": True,
+    }
+
+
+def run_benchmark(n_points: int, n_queries: int, height: int,
+                  epsilons: Sequence[float], repetitions: int,
+                  variants: Sequence[str], workers: int,
+                  serve_queries: int, seed: int = 0) -> Dict[str, object]:
+    points, workloads, structure = make_inputs(n_points, n_queries, height, seed)
+    sweep = sweep_section(points, workloads, structure, height, epsilons,
+                          repetitions, variants, workers, seed)
+    serving = serving_section(points, serve_queries, height, workers,
+                              chunk_queries=max(64, serve_queries // (4 * workers) or 1),
+                              seed=seed)
+    return {
+        "n_points": n_points,
+        "n_queries_per_shape": n_queries,
+        "height": height,
+        "epsilons": list(epsilons),
+        "repetitions": repetitions,
+        "variants": list(variants),
+        "sweep": sweep,
+        "serving": serving,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate: tiny grid, workers=2 bitwise parity, no "
+                             "speedup floor")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size for the timed run (default: all cores, "
+                             "capped at the case count)")
+    parser.add_argument("--n-points", type=int, default=None)
+    parser.add_argument("--n-queries", type=int, default=None)
+    parser.add_argument("--height", type=int, default=None)
+    parser.add_argument("--repetitions", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=None,
+                        help="write the result as JSON (e.g. BENCH_parallel.json)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        defaults = dict(n_points=6_000, n_queries=12, height=5, repetitions=2)
+        epsilons = (0.5, 1.0)
+        serve_queries = 300
+    else:
+        defaults = dict(n_points=60_000, n_queries=60, height=8, repetitions=8)
+        epsilons = (0.1, 0.5, 1.0)
+        serve_queries = 20_000
+    config = {key: getattr(args, key) if getattr(args, key) is not None else value
+              for key, value in defaults.items()}
+
+    cores = os.cpu_count() or 1
+    n_cases = len(QUADTREE_VARIANTS) * len(epsilons)
+    workers = args.workers if args.workers is not None else min(cores, n_cases)
+    workers = max(2, workers)
+
+    result = run_benchmark(
+        n_points=config["n_points"], n_queries=config["n_queries"],
+        height=config["height"], epsilons=epsilons,
+        repetitions=config["repetitions"],
+        variants=tuple(QUADTREE_VARIANTS), workers=workers,
+        serve_queries=serve_queries, seed=args.seed)
+    result["mode"] = "smoke" if args.smoke else "full"
+    result["host"] = host_metadata()
+
+    print(json.dumps(result, indent=2))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+
+    # Parity is asserted inside the sections; the speedup floor applies only
+    # where the hardware can express one.
+    speedup = result["sweep"]["speedup"]
+    if not args.smoke and cores >= 4 and speedup < 3.0:
+        print(f"FAIL: sweep speedup {speedup}x below the 3x floor on "
+              f"{cores} cores", file=sys.stderr)
+        return 1
+    gated = "gated" if (not args.smoke and cores >= 4) else "recorded"
+    print(f"OK: parity exact; workers={result['sweep']['workers']} sweep "
+          f"{speedup}x over workers=1 ({gated}; {cores} cores)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point
+# ----------------------------------------------------------------------
+def test_parallel_sweep(benchmark, capsys):
+    from conftest import report
+
+    result = benchmark.pedantic(
+        lambda: run_benchmark(n_points=8_000, n_queries=16, height=5,
+                              epsilons=(0.5, 1.0), repetitions=2,
+                              variants=("quad-baseline", "quad-opt"),
+                              workers=2, serve_queries=500),
+        rounds=1,
+    )
+    row = {**result["sweep"], "sharded_parity": result["serving"]["sharded_parity"]}
+    report("bench_parallel", "Process-parallel sweep vs in-process loop",
+           [row],
+           ["cases", "workers", "workers1_sec", "workersN_sec", "speedup",
+            "bitwise_parity", "sharded_parity"],
+           capsys)
+    assert result["sweep"]["bitwise_parity"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

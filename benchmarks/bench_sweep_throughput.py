@@ -43,6 +43,7 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from hostmeta import host_metadata
 from repro.core.quadtree import QUADTREE_VARIANTS, build_private_quadtree, \
     build_private_quadtree_releases
 from repro.data import road_intersections
@@ -228,6 +229,7 @@ def main(argv=None) -> int:
         repetitions=config["repetitions"],
         variants=tuple(QUADTREE_VARIANTS), seed=args.seed)
     result["mode"] = "smoke" if args.smoke else "full"
+    result["host"] = host_metadata()
 
     print(json.dumps(result, indent=2))
     if args.output:

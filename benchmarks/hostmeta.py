@@ -1,0 +1,42 @@
+"""Host metadata stamped into every ``BENCH_*.json`` payload.
+
+Perf numbers tracked across PRs are only comparable if the JSON records what
+they were measured *on*.  Every benchmark writer calls :func:`host_metadata`
+once and stores the result under a ``"host"`` key, so a trajectory that jumps
+can be told apart from a machine that changed.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from typing import Dict, Optional
+
+import numpy as np
+
+
+def _git_commit() -> Optional[str]:
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5, cwd=repo_root,
+        )
+    except Exception:
+        return None
+    commit = result.stdout.strip()
+    return commit or None
+
+
+def host_metadata() -> Dict[str, object]:
+    """CPU count, platform, interpreter/numpy versions and the repo commit."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "commit": _git_commit(),
+    }

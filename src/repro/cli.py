@@ -175,6 +175,24 @@ def _cmd_compile(args) -> int:
     return 0
 
 
+def _serve_flat(engine, rects, args):
+    """Answer ``rects`` from a flat engine, optionally sharding across workers.
+
+    With ``--workers N > 1`` the compiled arrays are shared with a process
+    pool and the batch fans out in ``--chunk-queries`` chunks; the LRU answer
+    cache sits in front either way (hits never reach the pool).
+    """
+    from .parallel import ShardedQueryServer
+
+    if args.workers is not None and args.workers != 1:
+        with ShardedQueryServer(engine, workers=args.workers,
+                                chunk_queries=args.chunk_queries) as server:
+            cached = CachedEngine(engine, evaluator=server.batch_query)
+            return cached, cached.batch_range_query(rects)
+    cached = CachedEngine(engine)
+    return cached, cached.batch_range_query(rects)
+
+
 def _cmd_query(args) -> int:
     specs = list(args.rect or [])
     if args.queries_file:
@@ -189,14 +207,12 @@ def _cmd_query(args) -> int:
         except Exception as exc:
             raise SystemExit(f"cannot load compiled engine {args.release!r}: {exc}")
         rects = [_parse_rect(spec, engine.dims) for spec in specs]
-        cached = CachedEngine(engine)
-        answers = cached.batch_range_query(rects)
+        cached, answers = _serve_flat(engine, rects, args)
     else:
         psd = load_psd(args.release)
         rects = [_parse_rect(spec, psd.domain.dims) for spec in specs]
         if args.engine == "flat":
-            cached = CachedEngine(psd.compile())
-            answers = cached.batch_range_query(rects)
+            cached, answers = _serve_flat(psd.compile(), rects, args)
         else:
             answers = [psd.range_query(rect) for rect in rects]
     for spec, answer in zip(specs, answers):
@@ -216,7 +232,7 @@ def _cmd_query(args) -> int:
 _EXPERIMENTS = {
     "fig2": lambda args, scale: (run_fig2(), ["height", "err_uniform", "err_geometric", "ratio"]),
     "fig3": lambda args, scale: (
-        run_fig3(scale=scale, epsilons=args.epsilons, rng=args.seed),
+        run_fig3(scale=scale, epsilons=args.epsilons, rng=args.seed, workers=args.workers),
         ["epsilon", "variant", "shape", "median_rel_error_pct"],
     ),
     "fig4": lambda args, scale: (
@@ -224,11 +240,11 @@ _EXPERIMENTS = {
         ["method", "depth", "rank_error_pct", "time_sec"],
     ),
     "fig5": lambda args, scale: (
-        run_fig5(scale=scale, epsilons=args.epsilons, rng=args.seed),
+        run_fig5(scale=scale, epsilons=args.epsilons, rng=args.seed, workers=args.workers),
         ["epsilon", "variant", "shape", "median_rel_error_pct"],
     ),
     "fig6": lambda args, scale: (
-        run_fig6(scale=scale, rng=args.seed),
+        run_fig6(scale=scale, rng=args.seed, workers=args.workers),
         ["method", "height", "shape", "median_rel_error_pct"],
     ),
     "fig7a": lambda args, scale: (
@@ -340,6 +356,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--stats", action="store_true",
                        help="report LRU answer-cache effectiveness (hits/misses) on stderr; "
                             "flat engines only")
+    query.add_argument("--workers", type=int, default=None,
+                       help="shard batch evaluation across this many processes over a "
+                            "shared-memory engine (flat backend only; -1 = all cores)")
+    query.add_argument("--chunk-queries", type=int, default=1024,
+                       help="queries per fanned-out chunk (also caps the evaluator's "
+                            "peak frontier memory; default 1024)")
     query.set_defaults(func=_cmd_query)
 
     experiment = sub.add_parser(
@@ -373,6 +395,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="override the scale's kd-tree height")
     experiment.add_argument("--epsilons", type=float, nargs="+", default=(0.5,))
     experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--workers", type=int, default=None,
+                            help="fan sweep cases across this many processes "
+                                 "(fig3/fig5/fig6; -1 = all cores; rows are bitwise "
+                                 "identical for any worker count)")
     experiment.set_defaults(func=_cmd_experiment)
     return parser
 

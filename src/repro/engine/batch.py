@@ -25,7 +25,7 @@ the analytic variance ``Err(Q)`` of Equation (1) — partial leaves contribute
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Tuple, Union
+from typing import Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -83,9 +83,20 @@ def queries_to_arrays(
         arr = np.asarray(queries, dtype=np.float64)
         return _checked(np.ascontiguousarray(arr[:, :dims]), np.ascontiguousarray(arr[:, dims:]))
 
+    query_list = queries if isinstance(queries, (list, tuple)) else list(queries)
+    if query_list and all(isinstance(q, Rect) for q in query_list):
+        # Homogeneous Rect input (the common workload shape): one stack over
+        # the extracted bounds instead of a per-query Python append loop.
+        for query in query_list:
+            if query.dims != dims:
+                raise ValueError(f"query has {query.dims} dims, engine has {dims}")
+        lo = np.asarray([q.lo for q in query_list], dtype=np.float64)
+        hi = np.asarray([q.hi for q in query_list], dtype=np.float64)
+        return _checked(lo, hi)
+
     lo_rows = []
     hi_rows = []
-    for query in queries:
+    for query in query_list:
         if isinstance(query, Rect):
             if query.dims != dims:
                 raise ValueError(f"query has {query.dims} dims, engine has {dims}")
@@ -125,6 +136,7 @@ def batch_query(
     engine: FlatPSD,
     queries: Union[Iterable[QueryInput], np.ndarray],
     use_uniformity: bool = True,
+    chunk_queries: Optional[int] = None,
 ) -> BatchQueryResult:
     """Answer a batch of range queries in one vectorised pass.
 
@@ -134,8 +146,40 @@ def batch_query(
     :func:`repro.core.query.query_variance` (estimates up to float summation
     order).  ``use_uniformity=False`` drops the partial-leaf contribution from
     the *estimate* only, exactly like the reference.
+
+    ``chunk_queries`` evaluates the batch in slices of at most that many
+    queries, capping the peak size of the ``(q_idx, n_idx)`` frontier (a
+    100k-query batch over a deep tree can otherwise hold tens of millions of
+    in-flight pairs).  Chunking never reorders any single query's
+    accumulation — each query's contributions arrive in the same node order
+    regardless of which other queries share its wavefront — so the outputs
+    are identical to the unchunked pass (estimates to float equality; the
+    sharded server relies on agreement within 1e-9).
     """
     qlo, qhi = queries_to_arrays(queries, engine.dims)
+    n_queries = qlo.shape[0]
+    if chunk_queries is not None:
+        chunk = int(chunk_queries)
+        if chunk < 1:
+            raise ValueError("chunk_queries must be at least 1")
+        if n_queries > chunk:
+            parts = [
+                _evaluate_frontier(engine, qlo[start : start + chunk],
+                                   qhi[start : start + chunk], use_uniformity)
+                for start in range(0, n_queries, chunk)
+            ]
+            return BatchQueryResult(
+                estimates=np.concatenate([p.estimates for p in parts]),
+                nodes_touched=np.concatenate([p.nodes_touched for p in parts]),
+                variances=np.concatenate([p.variances for p in parts]),
+            )
+    return _evaluate_frontier(engine, qlo, qhi, use_uniformity)
+
+
+def _evaluate_frontier(
+    engine: FlatPSD, qlo: np.ndarray, qhi: np.ndarray, use_uniformity: bool
+) -> BatchQueryResult:
+    """One level-synchronous frontier pass over pre-normalised query bounds."""
     n_queries = qlo.shape[0]
     estimates = np.zeros(n_queries, dtype=np.float64)
     touched = np.zeros(n_queries, dtype=np.int64)
@@ -215,9 +259,11 @@ def batch_range_query(
     engine: FlatPSD,
     queries: Union[Iterable[QueryInput], np.ndarray],
     use_uniformity: bool = True,
+    chunk_queries: Optional[int] = None,
 ) -> np.ndarray:
     """The ``(Q,)`` estimated counts for a batch of queries."""
-    return batch_query(engine, queries, use_uniformity=use_uniformity).estimates
+    return batch_query(engine, queries, use_uniformity=use_uniformity,
+                       chunk_queries=chunk_queries).estimates
 
 
 def batch_nodes_touched(

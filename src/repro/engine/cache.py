@@ -22,9 +22,10 @@ go through one vectorised evaluation.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -49,7 +50,15 @@ def canonical_rect_key(lo, hi, ndigits: int = 12) -> Tuple[float, ...]:
 
 
 class QueryCache:
-    """A bounded LRU mapping canonical query keys to cached answers."""
+    """A bounded LRU mapping canonical query keys to cached answers.
+
+    Thread-safe: every operation holds one internal lock, so a cache can be
+    shared by the threads of a sharded serving front-end (the LRU reordering
+    of ``OrderedDict`` is not safe under concurrent mutation, and the
+    hit/miss counters must move together with the store).  Lookups and
+    insertions are dictionary operations, so the critical sections are tiny;
+    evaluation of misses always happens *outside* the lock.
+    """
 
     def __init__(self, maxsize: int = 4096) -> None:
         if maxsize < 1:
@@ -58,40 +67,46 @@ class QueryCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._lock = threading.RLock()
         self._store: "OrderedDict[Tuple[float, ...], CacheEntry]" = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def get(self, key: Tuple[float, ...]) -> "CacheEntry | None":
-        entry = self._store.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._store.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._store.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: Tuple[float, ...], entry: CacheEntry) -> None:
-        if key in self._store:
-            self._store.move_to_end(key)
-        self._store[key] = entry
-        if len(self._store) > self.maxsize:
-            self._store.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+            self._store[key] = entry
+            if len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
-        self._store.clear()
+        with self._lock:
+            self._store.clear()
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss/eviction counters plus the current size."""
-        return {
-            "size": len(self._store),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "size": len(self._store),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 @dataclass
@@ -113,18 +128,35 @@ class CachedEngine:
     ndigits:
         Significant digits used by the canonical key (see
         :func:`canonical_rect_key`).
+    evaluator:
+        Optional replacement for the miss path: a callable taking a
+        ``(Q, 2 * dims)`` query array and returning a
+        :class:`~repro.engine.batch.BatchQueryResult`.  Pass a
+        :meth:`repro.parallel.serve.ShardedQueryServer.batch_query` bound
+        method to put the answer cache in front of a sharded worker pool —
+        hits are served in-process, only misses fan out.
 
     Notes
     -----
     Only the ``use_uniformity=True`` answers are cached (the serving default);
     calls with ``use_uniformity=False`` bypass the cache entirely rather than
-    double the key space.
+    double the key space.  The underlying :class:`QueryCache` is thread-safe,
+    so one ``CachedEngine`` may be shared by concurrent serving threads;
+    racing misses on the same rect evaluate redundantly but insert identical
+    entries.
     """
 
-    def __init__(self, engine: FlatPSD, maxsize: int = 4096, ndigits: int = 12) -> None:
+    def __init__(
+        self,
+        engine: FlatPSD,
+        maxsize: int = 4096,
+        ndigits: int = 12,
+        evaluator: Optional[Callable[[np.ndarray], BatchQueryResult]] = None,
+    ) -> None:
         self.engine = engine
         self.ndigits = int(ndigits)
         self.cache = QueryCache(maxsize=maxsize)
+        self._evaluate = evaluator or (lambda rows: batch_query(self.engine, rows))
 
     @property
     def hits(self) -> int:
@@ -150,7 +182,7 @@ class CachedEngine:
         key = norm.keys[0]
         entry = self.cache.get(key)
         if entry is None:
-            result = batch_query(self.engine, np.hstack([norm.lo, norm.hi]))
+            result = self._evaluate(np.hstack([norm.lo, norm.hi]))
             entry = (
                 float(result.estimates[0]),
                 int(result.nodes_touched[0]),
@@ -212,9 +244,7 @@ class CachedEngine:
 
         if miss_positions:
             miss = np.asarray(miss_positions, dtype=np.int64)
-            result = batch_query(
-                self.engine, np.hstack([norm.lo[miss], norm.hi[miss]])
-            )
+            result = self._evaluate(np.hstack([norm.lo[miss], norm.hi[miss]]))
             for j, i in enumerate(miss_positions):
                 entry = (
                     float(result.estimates[j]),

@@ -32,6 +32,11 @@ Per-release workload errors come out as matrices and are reduced by the
 matrix-form :func:`repro.queries.metrics.median_relative_error`; the driver
 finally averages the per-release medians over each case's repetitions, which
 is exactly the aggregation the per-release loops used to do.
+
+Every case runs on its own child RNG stream (one ``SeedSequence.spawn`` per
+case, in case order), which decouples the released bits from case execution
+order — ``run_sweep(..., workers=N)`` fans cases across a process pool (see
+:mod:`repro.parallel.sweep`) and is bitwise identical to ``workers=1``.
 """
 
 from __future__ import annotations
@@ -48,8 +53,8 @@ from ..privacy.rng import RngLike, ensure_rng
 from ..queries.metrics import median_relative_error
 from ..queries.workload import QueryShape, QueryWorkload, generate_workload
 
-__all__ = ["ExperimentScale", "SweepCase", "make_dataset", "make_workloads",
-           "evaluate_tree", "evaluate_psd", "format_table",
+__all__ = ["ExperimentScale", "SweepCase", "case_rows", "make_dataset",
+           "make_workloads", "evaluate_tree", "evaluate_psd", "format_table",
            "release_workload_errors", "run_sweep"]
 
 
@@ -272,44 +277,94 @@ def release_workload_errors(
     return out
 
 
+def case_rows(
+    case: SweepCase,
+    gen: np.random.Generator,
+    workloads: Dict[str, QueryWorkload],
+    matrix_cache: Optional[Dict] = None,
+) -> List[Dict[str, object]]:
+    """Build one case's releases under ``gen`` and aggregate them into rows.
+
+    The releases are built as one batch, scored on every workload, and the
+    per-release median errors of releases sharing a row key are averaged.
+    Rows carry the key's fields plus ``shape`` and ``median_rel_error_pct``.
+    This is the per-case unit of work of :func:`run_sweep`, shared verbatim
+    by the in-process loop and the process-parallel executor — which is what
+    makes ``workers=N`` bitwise identical to ``workers=1``.
+    """
+    releases = case.build(gen)
+    collection = _as_release_collection(releases)
+    if len(case.keys) != collection.n_releases:
+        raise ValueError(
+            f"case {case.label!r} declares {len(case.keys)} release keys but "
+            f"built {collection.n_releases} releases"
+        )
+    errors = release_workload_errors(collection, workloads, matrix_cache=matrix_cache)
+    rows: List[Dict[str, object]] = []
+    groups: Dict[Tuple, Tuple[Dict[str, object], List[int]]] = {}
+    for r, key in enumerate(case.keys):
+        frozen = tuple(sorted(key.items()))
+        groups.setdefault(frozen, (dict(key), []))[1].append(r)
+    for key_dict, indices in groups.values():
+        for label, errs in errors.items():
+            rows.append(
+                {
+                    **key_dict,
+                    "shape": label,
+                    "median_rel_error_pct": 100.0 * float(np.mean(errs[indices])),
+                }
+            )
+    return rows
+
+
 def run_sweep(
     cases: Sequence[SweepCase],
     workloads: Dict[str, QueryWorkload],
     rng: RngLike = None,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Run every case of a sweep and aggregate repetitions into result rows.
 
-    For each case the releases are built as one batch, scored on every
-    workload, and the per-release median errors of releases sharing a row key
-    are averaged.  Rows carry the key's fields plus ``shape`` and
-    ``median_rel_error_pct`` — the exact schema of the historical per-release
-    loops, so tables, benchmarks and JSON consumers are unaffected.
+    Every case gets its **own child RNG stream**, spawned off ``rng``'s seed
+    sequence — one spawn per case, in case order (see
+    :func:`repro.privacy.rng.spawn_generators`).  Because a case's stream no
+    longer depends on what earlier cases drew, case execution order is
+    irrelevant to the released bits: ``workers=N`` (cases fanned across a
+    ``ProcessPoolExecutor`` by :mod:`repro.parallel.sweep`, large inputs
+    shared via ``multiprocessing.shared_memory``) is **bitwise identical** to
+    ``workers=1`` (the in-process loop) for every N.
+
+    .. note::
+       The per-case spawn replaces the historical single generator threaded
+       sequentially through all cases, so sweeps draw *different — equally
+       distributed — realizations* than pre-parallel versions of this
+       library for the same seed (the same kind of draw-order change as the
+       PR 2–4 BFS/batching notes).  Within a version, rows are reproducible
+       for any worker count.
+
+    ``workers=None``/``0``/``1`` run in-process; negative means all cores.
+    Rows carry each key's fields plus ``shape`` and ``median_rel_error_pct``
+    — the exact schema of the historical per-release loops, so tables,
+    benchmarks and JSON consumers are unaffected.
     """
+    from ..privacy.rng import spawn_generators
+
     gen = ensure_rng(rng)
+    case_gens = spawn_generators(gen, len(cases))
+
+    from ..parallel.sweep import resolve_workers
+
+    n_workers = resolve_workers(workers)
+    if n_workers > 1 and len(cases) > 1:
+        from ..parallel.sweep import run_cases_parallel
+
+        per_case = run_cases_parallel(cases, case_gens, workloads, n_workers)
+        return [row for rows in per_case for row in rows]
+
     rows: List[Dict[str, object]] = []
     matrix_cache: Dict = {}  # shared across cases: same structure -> same matrices
-    for case in cases:
-        releases = case.build(gen)
-        collection = _as_release_collection(releases)
-        if len(case.keys) != collection.n_releases:
-            raise ValueError(
-                f"case {case.label!r} declares {len(case.keys)} release keys but "
-                f"built {collection.n_releases} releases"
-            )
-        errors = release_workload_errors(collection, workloads, matrix_cache=matrix_cache)
-        groups: Dict[Tuple, Tuple[Dict[str, object], List[int]]] = {}
-        for r, key in enumerate(case.keys):
-            frozen = tuple(sorted(key.items()))
-            groups.setdefault(frozen, (dict(key), []))[1].append(r)
-        for key_dict, indices in groups.values():
-            for label, errs in errors.items():
-                rows.append(
-                    {
-                        **key_dict,
-                        "shape": label,
-                        "median_rel_error_pct": 100.0 * float(np.mean(errs[indices])),
-                    }
-                )
+    for case, case_gen in zip(cases, case_gens):
+        rows.extend(case_rows(case, case_gen, workloads, matrix_cache=matrix_cache))
     return rows
 
 

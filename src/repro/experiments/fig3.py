@@ -20,20 +20,78 @@ loop of the sequential methodology is gone, with bitwise-identical releases.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.flatbuild import FlatTree, build_flat_structure
 from ..core.quadtree import QUADTREE_VARIANTS, build_private_quadtree_releases
+from ..core.splits import QuadSplit
 from ..geometry.domain import TIGER_DOMAIN, Domain
 from ..privacy.rng import RngLike, ensure_rng
 from ..queries.workload import PAPER_QUERY_SHAPES, QueryShape
 from .common import ExperimentScale, SweepCase, make_dataset, make_workloads, run_sweep
 
-__all__ = ["run_fig3", "PAPER_EPSILONS"]
+__all__ = ["run_fig3", "quadtree_sweep_case", "QuadtreeSweepBuild", "PAPER_EPSILONS"]
 
 #: The privacy budgets of Figure 3(a)-(c).
 PAPER_EPSILONS = (0.1, 0.5, 1.0)
+
+
+@dataclass(frozen=True, eq=False)
+class QuadtreeSweepBuild:
+    """The (picklable) release builder behind one Figure-3 sweep case.
+
+    A module-level callable rather than a closure so the process-parallel
+    sweep can ship cases to workers; the points array and the shared
+    structure ride :mod:`repro.parallel.shm` shared-memory views instead of
+    being re-pickled per case.
+    """
+
+    points: np.ndarray
+    domain: Domain
+    height: int
+    epsilons: Tuple[float, ...]
+    repetitions: int
+    variant: str
+    structure: FlatTree
+
+    def __call__(self, gen: np.random.Generator):
+        return build_private_quadtree_releases(
+            self.points, self.domain, height=self.height, epsilons=self.epsilons,
+            repetitions=self.repetitions, variant=self.variant, rng=gen,
+            structure=self.structure,
+        )
+
+    def shared_engine(self):
+        """The shared query structure (every fig3 variant funds all levels),
+        letting the parallel sweep precompile one query matrix per workload
+        in the parent and hand workers the CSR buffers via shared memory."""
+        from ..parallel.sweep import engine_from_structure
+
+        return engine_from_structure(self.structure, self.domain,
+                                     name=f"quad-{self.variant}")
+
+
+def quadtree_sweep_case(
+    points: np.ndarray,
+    domain: Domain,
+    height: int,
+    epsilons: Sequence[float],
+    repetitions: int,
+    variant: str,
+    structure: FlatTree,
+) -> SweepCase:
+    """One quadtree sweep case: ``len(epsilons) * repetitions`` releases."""
+    eps_list = tuple(float(e) for e in epsilons)
+    keys = tuple(
+        {"epsilon": e, "variant": variant} for e in eps_list for _ in range(repetitions)
+    )
+    build = QuadtreeSweepBuild(points=points, domain=domain, height=height,
+                               epsilons=eps_list, repetitions=repetitions,
+                               variant=variant, structure=structure)
+    return SweepCase(label=variant, keys=keys, build=build)
 
 
 def run_fig3(
@@ -44,8 +102,13 @@ def run_fig3(
     domain: Domain = TIGER_DOMAIN,
     points: Optional[np.ndarray] = None,
     rng: RngLike = 0,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
-    """Run the Figure 3 experiment and return one row per (epsilon, variant, shape)."""
+    """Run the Figure 3 experiment and return one row per (epsilon, variant, shape).
+
+    ``workers`` fans the variant cases across a process pool; any value
+    yields the same rows as ``workers=1`` (see :func:`~.common.run_sweep`).
+    """
     gen = ensure_rng(rng)
     pts = make_dataset(scale, rng=gen) if points is None else domain.validate_points(points)
     workloads = make_workloads(pts, shapes, scale, domain=domain, rng=gen)
@@ -53,24 +116,11 @@ def run_fig3(
 
     # One geometry serves every variant's releases: quadtree structure is data
     # independent and draw-free, so sharing it changes no release bits.
-    from ..core.flatbuild import build_flat_structure
-    from ..core.splits import QuadSplit
-
     structure = build_flat_structure(pts, domain, scale.quad_height, QuadSplit(), 0.0)
 
-    def case(variant: str) -> SweepCase:
-        def build(case_gen: np.random.Generator):
-            return build_private_quadtree_releases(
-                pts, domain, height=scale.quad_height, epsilons=eps_list,
-                repetitions=scale.repetitions, variant=variant, rng=case_gen,
-                structure=structure,
-            )
-
-        keys = tuple(
-            {"epsilon": e, "variant": variant}
-            for e in eps_list
-            for _ in range(scale.repetitions)
-        )
-        return SweepCase(label=variant, keys=keys, build=build)
-
-    return run_sweep([case(v) for v in variants], workloads, rng=gen)
+    cases = [
+        quadtree_sweep_case(pts, domain, scale.quad_height, eps_list,
+                            scale.repetitions, variant, structure)
+        for variant in variants
+    ]
+    return run_sweep(cases, workloads, rng=gen, workers=workers)

@@ -20,7 +20,8 @@ and kd-hybrid the most reliably accurate private variant.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,7 +31,31 @@ from ..privacy.rng import RngLike, ensure_rng
 from ..queries.workload import KD_QUERY_SHAPES, QueryShape
 from .common import ExperimentScale, SweepCase, make_dataset, make_workloads, run_sweep
 
-__all__ = ["run_fig5", "PAPER_EPSILONS", "PAPER_PRUNE_THRESHOLD"]
+__all__ = ["run_fig5", "KDTreeSweepBuild", "PAPER_EPSILONS", "PAPER_PRUNE_THRESHOLD"]
+
+
+@dataclass(frozen=True, eq=False)
+class KDTreeSweepBuild:
+    """The (picklable) release builder behind one Figure-5 sweep case.
+
+    Module-level so the process-parallel sweep can ship kd-tree cases to
+    workers; the points array is shared across cases via shared memory.
+    """
+
+    points: np.ndarray
+    domain: Domain
+    height: int
+    epsilons: Tuple[float, ...]
+    repetitions: int
+    variant: str
+    prune_threshold: float
+
+    def __call__(self, gen: np.random.Generator):
+        return build_private_kdtree_releases(
+            self.points, self.domain, height=self.height, epsilons=self.epsilons,
+            repetitions=self.repetitions, variant=self.variant,
+            prune_threshold=self.prune_threshold, rng=gen,
+        )
 
 #: The privacy budgets of Figure 5(a)-(c).
 PAPER_EPSILONS = (0.1, 0.5, 1.0)
@@ -48,6 +73,7 @@ def run_fig5(
     points: Optional[np.ndarray] = None,
     prune_threshold: float = PAPER_PRUNE_THRESHOLD,
     rng: RngLike = 0,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Run the Figure 5 sweep; one row per (epsilon, variant, shape).
 
@@ -56,6 +82,8 @@ def run_fig5(
     variants stack all releases' private medians into one ragged-batch call
     per level; the cell-based variant (a fresh noisy grid per release) keeps
     its sequential builds and shares only the evaluation machinery.
+    ``workers`` fans the variant cases across a process pool with identical
+    rows for any worker count.
     """
     gen = ensure_rng(rng)
     pts = make_dataset(scale, rng=gen) if points is None else domain.validate_points(points)
@@ -63,18 +91,14 @@ def run_fig5(
     eps_list = tuple(float(e) for e in epsilons)
 
     def case(variant: str) -> SweepCase:
-        def build(case_gen: np.random.Generator):
-            return build_private_kdtree_releases(
-                pts, domain, height=scale.kd_height, epsilons=eps_list,
-                repetitions=scale.repetitions, variant=variant,
-                prune_threshold=prune_threshold, rng=case_gen,
-            )
-
         keys = tuple(
             {"epsilon": e, "variant": variant}
             for e in eps_list
             for _ in range(scale.repetitions)
         )
+        build = KDTreeSweepBuild(points=pts, domain=domain, height=scale.kd_height,
+                                 epsilons=eps_list, repetitions=scale.repetitions,
+                                 variant=variant, prune_threshold=prune_threshold)
         return SweepCase(label=variant, keys=keys, build=build)
 
-    return run_sweep([case(v) for v in variants], workloads, rng=gen)
+    return run_sweep([case(v) for v in variants], workloads, rng=gen, workers=workers)

@@ -19,6 +19,7 @@ Hilbert-R is competitive on some shapes and much worse on others.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -51,6 +52,7 @@ def run_fig6(
     points: Optional[np.ndarray] = None,
     hilbert_order: int = 16,
     rng: RngLike = 0,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Run the Figure 6 sweep; one row per (method, height, shape).
 
@@ -58,6 +60,8 @@ def run_fig6(
     ``scale.repetitions`` releases as a batch and evaluating them on the flat
     batch backend — the Hilbert R-tree through its compiled planar engine, so
     no per-query ``range_query`` closures remain anywhere in the runner.
+    ``workers`` fans the (method, height) grid across a process pool with
+    identical rows for any worker count.
 
     The default ``heights`` stop at 8 to keep default-scale runtimes modest;
     pass ``heights=PAPER_HEIGHTS`` for the full sweep of the paper.
@@ -72,33 +76,49 @@ def run_fig6(
         for height in heights
         for method in methods
     ]
-    return run_sweep(cases, workloads, rng=gen)
+    return run_sweep(cases, workloads, rng=gen, workers=workers)
+
+
+@dataclass(frozen=True, eq=False)
+class Fig6CaseBuild:
+    """The (picklable) release builder of one Figure-6 (method, height) case."""
+
+    method: str
+    height: int
+    points: np.ndarray
+    domain: Domain
+    epsilon: float
+    hilbert_order: int
+    repetitions: int
+
+    def __call__(self, gen: np.random.Generator):
+        if self.method == "quad-opt":
+            return build_private_quadtree_releases(
+                self.points, self.domain, height=self.height, epsilons=(self.epsilon,),
+                repetitions=self.repetitions, variant="quad-opt", rng=gen,
+            )
+        if self.method in ("kd-hybrid", "kd-cell"):
+            return build_private_kdtree_releases(
+                self.points, self.domain, height=self.height, epsilons=(self.epsilon,),
+                repetitions=self.repetitions, variant=self.method,
+                prune_threshold=PAPER_PRUNE_THRESHOLD, rng=gen,
+            )
+        return build_private_hilbert_rtree_releases(
+            self.points, self.domain, height=2 * self.height, epsilons=(self.epsilon,),
+            repetitions=self.repetitions, order=self.hilbert_order,
+            prune_threshold=PAPER_PRUNE_THRESHOLD, rng=gen,
+        )
 
 
 def _method_case(method, height, pts, domain, epsilon, hilbert_order, scale) -> SweepCase:
     """One sweep case: ``scale.repetitions`` releases of a Figure 6 structure."""
     key = str(method).lower()
-    if key == "quad-opt":
-        def build(gen):
-            return build_private_quadtree_releases(
-                pts, domain, height=height, epsilons=(epsilon,),
-                repetitions=scale.repetitions, variant="quad-opt", rng=gen,
-            )
-    elif key in ("kd-hybrid", "kd-cell"):
-        def build(gen):
-            return build_private_kdtree_releases(
-                pts, domain, height=height, epsilons=(epsilon,),
-                repetitions=scale.repetitions, variant=key,
-                prune_threshold=PAPER_PRUNE_THRESHOLD, rng=gen,
-            )
-    elif key in ("hilbert-r", "hilbert"):
-        def build(gen):
-            return build_private_hilbert_rtree_releases(
-                pts, domain, height=2 * height, epsilons=(epsilon,),
-                repetitions=scale.repetitions, order=hilbert_order,
-                prune_threshold=PAPER_PRUNE_THRESHOLD, rng=gen,
-            )
-    else:
+    if key in ("hilbert-r", "hilbert"):
+        key = "hilbert-r"
+    elif key not in ("quad-opt", "kd-hybrid", "kd-cell"):
         raise KeyError(f"unknown Figure 6 method {method!r}")
+    build = Fig6CaseBuild(method=key, height=height, points=pts, domain=domain,
+                          epsilon=epsilon, hilbert_order=hilbert_order,
+                          repetitions=scale.repetitions)
     keys = tuple({"method": method, "height": height} for _ in range(scale.repetitions))
     return SweepCase(label=f"{method}/h{height}", keys=keys, build=build)

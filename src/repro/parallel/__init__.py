@@ -1,0 +1,33 @@
+"""Multicore execution layer: process-parallel sweeps and sharded serving.
+
+The rest of the library is single-core by design — every hot loop is a NumPy
+kernel, so one release builds and one workload evaluates as fast as one core
+allows.  This package scales *across* cores without touching those kernels:
+
+* :mod:`repro.parallel.shm` — zero-copy plumbing: large immutable arrays
+  (points, structure geometry, compiled query-matrix CSR buffers) are placed
+  in ``multiprocessing.shared_memory`` segments once and every worker maps
+  the same pages, instead of re-pickling megabytes per task;
+* :mod:`repro.parallel.sweep` — the process-parallel sweep executor behind
+  ``run_sweep(..., workers=N)``: each case runs on its own spawned child RNG
+  stream, so ``workers=N`` is bitwise identical to ``workers=1`` for every N;
+* :mod:`repro.parallel.serve` — a sharded query server that fans chunks of a
+  query batch across a worker pool over one shared compiled engine.
+
+Everything here keeps a hard determinism contract: parallelism changes
+*where* work runs, never *what* it computes.
+"""
+
+from .serve import ShardedQueryServer
+from .shm import SharedArena, attach_array, dumps_shared, loads_shared
+from .sweep import engine_from_structure, run_cases_parallel
+
+__all__ = [
+    "SharedArena",
+    "ShardedQueryServer",
+    "attach_array",
+    "dumps_shared",
+    "loads_shared",
+    "engine_from_structure",
+    "run_cases_parallel",
+]

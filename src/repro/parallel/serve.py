@@ -1,0 +1,232 @@
+"""Sharded query serving: one shared compiled engine, many worker processes.
+
+A compiled :class:`~repro.engine.flat.FlatPSD` is a read-only bundle of
+arrays — exactly the shape of thing :mod:`repro.parallel.shm` shares for
+free.  :class:`ShardedQueryServer` exports the engine into shared memory
+once, starts a process pool whose workers attach the same pages, and serves
+every query batch by fanning fixed-size **chunks** across the pool (the
+``chunk_queries=`` path of :func:`repro.engine.batch.batch_query`, which
+also caps each worker's peak frontier memory).  Results come back in input
+order; per-query outputs are identical to the single-process evaluator
+because chunking never changes any query's own accumulation order.
+
+A precompiled :class:`~repro.engine.batch.QueryMatrix` can be shared the
+same way: :meth:`ShardedQueryServer.matrix_dot` ships the CSR buffers once
+and splits the release axis across the pool — the serving analogue of the
+sweep pipeline's ``S @ counts`` product.
+
+The server composes with the LRU answer cache: pass
+``CachedEngine(server.engine, evaluator=server.batch_query)`` so hits are
+answered from the (thread-safe) cache and only misses fan out.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+import numpy as np
+
+from ..engine.batch import BatchQueryResult, QueryInput, batch_query, queries_to_arrays
+from ..engine.flat import FlatPSD
+from .shm import SharedArena, SharedArrayHandle, attach_array, dumps_shared, loads_shared
+
+__all__ = ["ShardedQueryServer"]
+
+#: Default number of queries per fanned-out chunk — large enough that worker
+#: dispatch overhead is noise, small enough to spread a batch across cores
+#: and bound each worker's (q_idx, n_idx) frontier.
+DEFAULT_CHUNK_QUERIES = 1024
+
+_SERVE: Dict = {}
+
+
+def _init_serve_worker(payload: bytes) -> None:
+    _SERVE.update(loads_shared(payload))
+
+
+def _serve_chunk(
+    rows: np.ndarray, use_uniformity: bool
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    result = batch_query(_SERVE["engine"], rows, use_uniformity=use_uniformity)
+    return result.estimates, result.nodes_touched, result.variances
+
+
+def _serve_matrix_rows(
+    key: int, start: int, stop: int, counts: "np.ndarray | SharedArrayHandle"
+) -> np.ndarray:
+    if isinstance(counts, SharedArrayHandle):
+        counts = attach_array(counts)
+    return _matrix_row_slice(_SERVE["matrices"][key], start, stop, counts)
+
+
+def _matrix_row_slice(matrix, start: int, stop: int, counts: np.ndarray) -> np.ndarray:
+    """``(S @ counts)[start:stop]`` without materialising the other rows."""
+    from ..engine.batch import QueryMatrix
+
+    lo, hi = int(matrix.indptr[start]), int(matrix.indptr[stop])
+    sliced = QueryMatrix(
+        indptr=matrix.indptr[start : stop + 1] - matrix.indptr[start],
+        indices=matrix.indices[lo:hi],
+        weights=matrix.weights[lo:hi],
+        partial=matrix.partial[lo:hi],
+        n_nodes=matrix.n_nodes,
+    )
+    return sliced.dot(counts)
+
+
+class ShardedQueryServer:
+    """Serve batched range queries from a pool of processes over one engine.
+
+    Parameters
+    ----------
+    engine:
+        The compiled engine to serve.  Its arrays are exported to shared
+        memory once; workers attach views instead of receiving copies.
+    workers:
+        Pool size; ``None``/negative means all cores.
+    chunk_queries:
+        Queries per fanned-out chunk (also the ``chunk_queries=`` passed to
+        each worker's evaluator, capping its frontier memory).
+
+    Use as a context manager (or call :meth:`close`) so the pool and the
+    shared segments are reclaimed deterministically.
+    """
+
+    def __init__(
+        self,
+        engine: FlatPSD,
+        workers: Optional[int] = None,
+        chunk_queries: int = DEFAULT_CHUNK_QUERIES,
+    ) -> None:
+        from .sweep import resolve_workers
+
+        if chunk_queries < 1:
+            raise ValueError("chunk_queries must be at least 1")
+        self.engine = engine
+        self.chunk_queries = int(chunk_queries)
+        self.workers = resolve_workers(workers if workers is not None else -1)
+        self._matrices: Dict[int, object] = {}
+        self._next_matrix_key = 0
+        self._arena = SharedArena()
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """Start the worker pool on first need.
+
+        Lazy so that a server whose batches never exceed one chunk (or whose
+        ``workers`` is 1) pays neither process startup nor the engine's
+        shared-memory export — small workloads are served in-process at zero
+        overhead.
+        """
+        if self._pool is None:
+            payload = dumps_shared(
+                {"engine": self.engine, "matrices": dict(self._matrices)}, self._arena
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_serve_worker,
+                initargs=(payload,),
+            )
+        return self._pool
+
+    # ------------------------------------------------------------------
+    def batch_query(
+        self,
+        queries: Union[Iterable[QueryInput], np.ndarray],
+        use_uniformity: bool = True,
+    ) -> BatchQueryResult:
+        """Evaluate a batch, fanning chunks across the pool; input order kept."""
+        qlo, qhi = queries_to_arrays(queries, self.engine.dims)
+        n_queries = qlo.shape[0]
+        rows = np.hstack([qlo, qhi])
+        if self.workers <= 1 or n_queries <= self.chunk_queries:
+            return batch_query(self.engine, rows, use_uniformity=use_uniformity,
+                               chunk_queries=self.chunk_queries)
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_serve_chunk, rows[start : start + self.chunk_queries],
+                        use_uniformity)
+            for start in range(0, n_queries, self.chunk_queries)
+        ]
+        parts = [future.result() for future in futures]
+        return BatchQueryResult(
+            estimates=np.concatenate([p[0] for p in parts]),
+            nodes_touched=np.concatenate([p[1] for p in parts]),
+            variances=np.concatenate([p[2] for p in parts]),
+        )
+
+    def batch_range_query(
+        self,
+        queries: Union[Iterable[QueryInput], np.ndarray],
+        use_uniformity: bool = True,
+    ) -> np.ndarray:
+        """The ``(Q,)`` estimates for a batch (sharded)."""
+        return self.batch_query(queries, use_uniformity=use_uniformity).estimates
+
+    # ------------------------------------------------------------------
+    def share_matrix(self, matrix) -> int:
+        """Ship a precompiled query matrix's CSR buffers to every worker.
+
+        Returns a key accepted by :meth:`matrix_dot`.  The buffers go through
+        shared memory, so the per-worker cost is a few mmaps regardless of
+        workload size.  Sharing restarts the pool with the enlarged matrix
+        set (worker state is installed by the initializer), so register
+        matrices up front rather than between latency-sensitive batches; in
+        the ``workers == 1`` degenerate case the matrix is simply kept
+        in-process.
+        """
+        key = self._next_matrix_key
+        self._next_matrix_key += 1
+        self._matrices[key] = matrix
+        if self._pool is not None:
+            # Workers received their matrices at initializer time; recycle
+            # the pool so the next fanned-out call re-installs the full set.
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        return key
+
+    def matrix_dot(self, key: int, counts: np.ndarray) -> np.ndarray:
+        """``S @ counts`` with the query rows sharded across the pool.
+
+        The counts matrix is exported to shared memory once per distinct
+        array object (workers attach and cache the view), so repeated dots
+        against the same release matrix ship only a tiny handle per chunk —
+        a large ``(n_nodes, R)`` matrix is never re-pickled per task.
+        Segments live until :meth:`close`, so a server fed a *fresh* counts
+        array on every call should be closed periodically (or sized for it).
+        """
+        matrix = self._matrices[key]
+        counts = np.asarray(counts, dtype=np.float64)
+        n_queries = matrix.n_queries
+        if self.workers <= 1 or n_queries <= self.chunk_queries:
+            return matrix.dot(counts)
+        pool = self._ensure_pool()
+        shipped = (
+            self._arena.export(counts)
+            if counts.nbytes >= self._arena.threshold
+            else counts
+        )
+        futures = [
+            pool.submit(
+                _serve_matrix_rows, key, start, min(start + self.chunk_queries, n_queries),
+                shipped,
+            )
+            for start in range(0, n_queries, self.chunk_queries)
+        ]
+        parts = [future.result() for future in futures]
+        return np.concatenate(parts, axis=0)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down and unlink the shared segments."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._arena.close()
+
+    def __enter__(self) -> "ShardedQueryServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,229 @@
+"""Shared-memory views of immutable arrays for cross-process execution.
+
+A sweep case or a compiled engine is mostly a handful of large, immutable
+NumPy arrays (the point dataset, BFS geometry arrays, CSR query-matrix
+buffers) plus a thin shell of scalars.  Pickling those arrays into every
+worker task would copy megabytes per task; instead the parent exports each
+large array into a ``multiprocessing.shared_memory`` segment **once** and the
+pickle stream carries only a tiny :class:`SharedArrayHandle`.  Every worker
+attaches the same physical pages and reconstructs a *read-only* view.
+
+The mechanics are a custom pickler pair:
+
+* :func:`dumps_shared` pickles an arbitrary object graph, diverting every
+  large ndarray (``nbytes >= arena.threshold``) through the
+  :class:`SharedArena` via the pickler's ``persistent_id`` hook.  Repeated
+  references to the same array object are exported once (identity dedupe),
+  so e.g. twelve sweep cases sharing one points array cost one segment;
+* :func:`loads_shared` restores the graph, resolving handles through
+  ``persistent_load`` into shared views cached per segment name.
+
+The parent owns the segments through the :class:`SharedArena` and unlinks
+them once the worker pool has shut down; attached views are marked
+non-writeable because everything shared this way is released, immutable
+data — a worker must never be able to mutate another worker's inputs.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SHARE_THRESHOLD_BYTES",
+    "SharedArrayHandle",
+    "SharedArena",
+    "attach_array",
+    "detach_all",
+    "dumps_shared",
+    "loads_shared",
+]
+
+#: Arrays at least this large are diverted into shared memory; smaller ones
+#: ride the ordinary pickle stream (a segment + mmap per tiny array would
+#: cost more than it saves).
+SHARE_THRESHOLD_BYTES = 1 << 16
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """A picklable pointer to one exported array: segment name, shape, dtype."""
+
+    shm_name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+class SharedArena:
+    """Parent-side owner of the shared-memory segments of one parallel run.
+
+    ``export`` copies an array into a fresh segment and returns its handle;
+    exporting the *same object* again returns the existing handle.  The arena
+    keeps both the segments and a reference to every exported array (so an
+    ``id()`` can never be recycled onto a different array mid-run) until
+    :meth:`close` releases everything.  Use as a context manager::
+
+        with SharedArena() as arena:
+            payload = dumps_shared(obj, arena)
+            ...  # run the pool to completion
+        # segments are closed and unlinked here
+    """
+
+    def __init__(self, threshold: int = SHARE_THRESHOLD_BYTES) -> None:
+        self.threshold = int(threshold)
+        self._segments: list = []
+        self._handles: Dict[int, SharedArrayHandle] = {}
+        self._keepalive: list = []
+
+    # ------------------------------------------------------------------
+    @property
+    def n_segments(self) -> int:
+        return len(self._segments)
+
+    def nbytes(self) -> int:
+        """Total bytes held in shared segments."""
+        return sum(segment.size for segment in self._segments)
+
+    def export(self, array: np.ndarray) -> SharedArrayHandle:
+        """Copy ``array`` into shared memory (once per object) and return its handle."""
+        handle = self._handles.get(id(array))
+        if handle is not None:
+            return handle
+        contiguous = np.ascontiguousarray(array)
+        segment = shared_memory.SharedMemory(create=True, size=max(1, contiguous.nbytes))
+        view = np.ndarray(contiguous.shape, dtype=contiguous.dtype, buffer=segment.buf)
+        view[...] = contiguous
+        handle = SharedArrayHandle(segment.name, tuple(contiguous.shape), contiguous.dtype.str)
+        self._segments.append(segment)
+        self._handles[id(array)] = handle
+        self._keepalive.append(array)
+        return handle
+
+    def close(self, unlink: bool = True) -> None:
+        """Release every segment (and by default unlink it from the system)."""
+        for segment in self._segments:
+            try:
+                segment.close()
+                if unlink:
+                    segment.unlink()
+            except FileNotFoundError:  # already unlinked (e.g. by a crashed twin)
+                pass
+        self._segments.clear()
+        self._handles.clear()
+        self._keepalive.clear()
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Attach side (workers, or the parent round-tripping its own payload)
+# ----------------------------------------------------------------------
+#: Per-process cache of attached segments: name -> (SharedMemory, view).
+#: The SharedMemory object must stay referenced for as long as any view of
+#: its buffer is alive, so the cache holds both together.
+_ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Open a segment by name without registering it with the resource tracker.
+
+    The parent arena owns segment lifetime.  An attaching process must stay
+    out of the tracker entirely: with forked workers the tracker is shared
+    with the parent, so a worker-side register/unregister pair would erase
+    (or double) the parent's own registration and the tracker complains at
+    unlink time.  Suppressing the register during attach (the Python 3.13
+    ``track=False`` behaviour) sidesteps the whole dance.
+    """
+    try:  # pragma: no cover - tracker internals differ across platforms
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def quiet_register(name, rtype):
+            if rtype != "shared_memory":
+                original(name, rtype)
+
+        resource_tracker.register = quiet_register
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+    except ImportError:
+        return shared_memory.SharedMemory(name=name)
+
+
+def attach_array(handle: SharedArrayHandle) -> np.ndarray:
+    """A read-only view of an exported array, attached (and cached) by name."""
+    cached = _ATTACHED.get(handle.shm_name)
+    if cached is not None:
+        return cached[1]
+    segment = _attach_untracked(handle.shm_name)
+    view = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=segment.buf)
+    view.setflags(write=False)
+    _ATTACHED[handle.shm_name] = (segment, view)
+    return view
+
+
+def detach_all() -> None:
+    """Drop this process's attached views and close their mappings.
+
+    Only safe once no views handed out by :func:`attach_array` are in use;
+    workers normally skip this (their mappings die with the process) — it
+    exists for the parent and for tests that round-trip payloads in-process.
+    """
+    for segment, _ in _ATTACHED.values():
+        try:
+            segment.close()
+        except BufferError:  # a view is still alive; leave the mapping open
+            pass
+    _ATTACHED.clear()
+
+
+# ----------------------------------------------------------------------
+# The sharing pickler pair
+# ----------------------------------------------------------------------
+class _SharingPickler(pickle.Pickler):
+    """Pickler that diverts large ndarrays into a :class:`SharedArena`."""
+
+    def __init__(self, file, arena: SharedArena) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._arena = arena
+
+    def persistent_id(self, obj):
+        if (
+            isinstance(obj, np.ndarray)
+            and not obj.dtype.hasobject
+            and obj.nbytes >= self._arena.threshold
+        ):
+            return self._arena.export(obj)
+        return None
+
+
+class _AttachingUnpickler(pickle.Unpickler):
+    """Unpickler resolving :class:`SharedArrayHandle` ids into shared views."""
+
+    def persistent_load(self, pid):
+        if isinstance(pid, SharedArrayHandle):
+            return attach_array(pid)
+        raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+
+
+def dumps_shared(obj, arena: SharedArena) -> bytes:
+    """Pickle ``obj``, exporting its large arrays into ``arena``."""
+    buffer = io.BytesIO()
+    _SharingPickler(buffer, arena).dump(obj)
+    return buffer.getvalue()
+
+
+def loads_shared(data: bytes):
+    """Unpickle a :func:`dumps_shared` payload, attaching its shared arrays."""
+    return _AttachingUnpickler(io.BytesIO(data)).load()

@@ -1,0 +1,231 @@
+"""Process-parallel execution of sweep cases with a hard determinism contract.
+
+:func:`repro.experiments.common.run_sweep` gives every case its own child RNG
+stream (one ``SeedSequence.spawn`` per case, in case order) regardless of the
+``workers`` setting — which makes case execution order irrelevant to the
+released bits.  This module is the ``workers > 1`` backend: it ships the
+cases and workloads to a ``ProcessPoolExecutor`` **once** per worker (large
+arrays ride :mod:`repro.parallel.shm` shared-memory views, not per-task
+pickles), runs each case under its spawned generator, and reassembles the
+per-case rows in case order — bitwise identical to the in-process path.
+
+Three pieces keep the fan-out cheap:
+
+* the whole worker state (cases, workloads, pre-seeded matrix cache) is one
+  ``initializer`` payload, so a task is just ``(case index, generator)``;
+* cases that share one immutable points array or structure export it to
+  shared memory once (identity dedupe in the arena);
+* cases exposing a ``shared_engine()`` probe (data-independent structures,
+  e.g. the Figure-3 quadtree grid) get their workload query matrices
+  compiled **in the parent** and shipped as shared CSR buffers, pre-seeding
+  every worker's matrix cache so no worker recompiles a decomposition the
+  sweep already knows.
+
+Cases whose build closure cannot be pickled fall back to running in the
+parent process with their same spawned generator — slower, never wrong.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .shm import SharedArena, dumps_shared, loads_shared
+
+__all__ = ["engine_from_structure", "resolve_workers", "run_cases_parallel"]
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``workers=`` argument: ``None``/``0`` mean one in-process
+    worker, negative values mean "all cores"."""
+    if workers is None or workers == 0:
+        return 1
+    if workers < 0:
+        return max(1, os.cpu_count() or 1)
+    return int(workers)
+
+
+def engine_from_structure(structure, domain, name: str = "structure"):
+    """A count-free engine view of a data-independent structure.
+
+    Query decompositions (and therefore compiled
+    :class:`~repro.engine.batch.QueryMatrix` objects) depend only on the
+    geometry, the child layout and the released-count *pattern* — never on
+    the count values.  For a structure whose releases fund every level, this
+    builds the exact engine the release batch will expose (released counts
+    zeroed), so matrices compiled against it are interchangeable with the
+    batch's own — that is what lets the parent precompile one matrix per
+    workload and hand the CSR buffers to every worker.
+    """
+    from ..engine.flat import FlatPSD, level_variances
+
+    lo = structure.lo.astype(np.float64, copy=True)
+    hi = structure.hi.astype(np.float64, copy=True)
+    n = structure.n_nodes
+    eps = np.ones(structure.height + 1, dtype=np.float64)
+    return FlatPSD(
+        lo=lo,
+        hi=hi,
+        level=structure.level.astype(np.int32, copy=True),
+        released=np.zeros(n, dtype=np.float64),
+        has_count=np.ones(n, dtype=bool),
+        is_leaf=structure.is_leaf.copy(),
+        child_start=structure.child_start.astype(np.int64, copy=True),
+        child_end=structure.child_end.astype(np.int64, copy=True),
+        area=np.prod(hi - lo, axis=1),
+        count_epsilons=eps,
+        level_variance=level_variances(eps),
+        height=structure.height,
+        fanout=structure.fanout,
+        name=name,
+        domain_lo=np.asarray(domain.rect.lo, dtype=np.float64),
+        domain_hi=np.asarray(domain.rect.hi, dtype=np.float64),
+        domain_name=domain.name,
+    )
+
+
+def _seed_matrix_cache(cases: Sequence, workloads: Dict) -> Dict:
+    """Precompile query matrices for cases that advertise a shared structure.
+
+    Keys match :func:`repro.experiments.common.release_workload_errors`'s
+    content fingerprints, so a worker evaluating such a case hits the cache
+    instead of recompiling; a fingerprint mismatch only costs a recompile.
+    """
+    from ..engine.batch import compile_query_matrix
+    from ..experiments.common import _structure_fingerprint, _workload_fingerprint
+
+    cache: Dict = {}
+    seen_structures = set()
+    for case in cases:
+        probe = getattr(case.build, "shared_engine", None)
+        if probe is None:
+            continue
+        engine = probe()
+        if engine is None:
+            continue
+        fingerprint = _structure_fingerprint(engine)
+        if fingerprint in seen_structures:
+            continue
+        seen_structures.add(fingerprint)
+        for workload in workloads.values():
+            key = (fingerprint, _workload_fingerprint(workload))
+            if key not in cache:
+                cache[key] = compile_query_matrix(engine, workload.queries)
+    return cache
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+#: Per-worker state installed by the pool initializer: the picklable cases
+#: (by index), the workloads, and a matrix cache pre-seeded by the parent
+#: and grown by whatever this worker compiles afterwards.
+_WORKER: Dict = {}
+
+
+def _init_sweep_worker(payload: bytes) -> None:
+    state = loads_shared(payload)
+    state["matrix_cache"] = dict(state.get("matrix_cache") or {})
+    _WORKER.clear()
+    _WORKER.update(state)
+
+
+def _run_case(index: int, gen: np.random.Generator) -> List[Dict[str, object]]:
+    from ..experiments.common import case_rows
+
+    case = _WORKER["cases"][index]
+    return case_rows(case, gen, _WORKER["workloads"], _WORKER["matrix_cache"])
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+def run_cases_parallel(
+    cases: Sequence,
+    case_gens: Sequence[np.random.Generator],
+    workloads: Dict,
+    workers: int,
+) -> List[List[Dict[str, object]]]:
+    """Execute every case on a process pool; per-case rows in case order.
+
+    Each case runs under its pre-spawned generator ``case_gens[i]``, so the
+    result is bitwise identical to running the cases sequentially with the
+    same generators.  Unpicklable cases execute in the parent (while the
+    pool works on the rest) under exactly the same contract.
+    """
+    from ..experiments.common import case_rows
+
+    if len(cases) != len(case_gens):
+        raise ValueError("one spawned generator per case is required")
+    if not cases:
+        return []
+
+    with SharedArena() as arena:
+        shipped: Dict[int, object] = {}
+        local_indices: List[int] = []
+        for i, case in enumerate(cases):
+            if _probe_picklable(case):
+                shipped[i] = case
+            else:
+                local_indices.append(i)
+        rows_by_case: Dict[int, List[Dict[str, object]]] = {}
+        if shipped:
+            payload = dumps_shared(
+                {
+                    "cases": shipped,
+                    "workloads": workloads,
+                    "matrix_cache": _seed_matrix_cache(list(shipped.values()), workloads),
+                },
+                arena,
+            )
+            max_workers = min(int(workers), len(shipped))
+            with ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_init_sweep_worker,
+                initargs=(payload,),
+            ) as pool:
+                futures = {
+                    i: pool.submit(_run_case, i, case_gens[i]) for i in sorted(shipped)
+                }
+                # The parent evaluates its unpicklable leftovers while the
+                # pool is busy, then collects.
+                local_cache: Dict = {}
+                for i in local_indices:
+                    rows_by_case[i] = case_rows(cases[i], case_gens[i], workloads, local_cache)
+                for i, future in futures.items():
+                    rows_by_case[i] = future.result()
+        else:
+            local_cache = {}
+            for i in local_indices:
+                rows_by_case[i] = case_rows(cases[i], case_gens[i], workloads, local_cache)
+    return [rows_by_case[i] for i in range(len(cases))]
+
+
+class _StubArrayPickler(pickle.Pickler):
+    """A picklability probe that skips ndarray payloads entirely.
+
+    Arrays always pickle (and the real payload diverts the large ones into
+    shared memory anyway), so the only question a probe needs answered is
+    whether the case's *object shell* — typically its build callable — can
+    cross a process boundary.  Stubbing every array keeps the probe O(shell)
+    and, crucially, allocates no shared-memory segments for cases that turn
+    out to be closure-built and must run in the parent.
+    """
+
+    def persistent_id(self, obj):
+        return ("stub-array",) if isinstance(obj, np.ndarray) else None
+
+
+def _probe_picklable(case) -> bool:
+    """Whether a case can ship to workers (True) or must run in the parent."""
+    import io
+
+    try:
+        _StubArrayPickler(io.BytesIO(), protocol=pickle.HIGHEST_PROTOCOL).dump(case)
+        return True
+    except Exception:
+        return False

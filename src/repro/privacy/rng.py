@@ -23,7 +23,7 @@ from typing import Sequence, Union
 
 import numpy as np
 
-__all__ = ["RngLike", "ReplayRng", "ensure_rng", "spawn_rngs"]
+__all__ = ["RngLike", "ReplayRng", "ensure_rng", "spawn_generators", "spawn_rngs"]
 
 
 class ReplayRng(np.random.Generator):
@@ -104,6 +104,31 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     if isinstance(rng, (int, np.integer)):
         return np.random.default_rng(int(rng))
     raise TypeError(f"rng must be None, an int seed, or a numpy Generator, got {type(rng)!r}")
+
+
+def spawn_generators(rng: RngLike, count: int) -> list[np.random.Generator]:
+    """``count`` child generators via the parent's ``SeedSequence.spawn``.
+
+    This is the canonical per-case stream derivation of the sweep driver:
+    one spawn per child, in order, off the parent generator's seed sequence.
+    Unlike :func:`spawn_rngs` it does not consume the parent's *draw* stream
+    (only its spawn counter advances), and the children are exactly the
+    ``SeedSequence`` spawn tree — so a result computed from child ``i`` is
+    the same no matter where (or in what order) the children execute.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    base = ensure_rng(rng)
+    if count == 0:
+        return []
+    try:
+        return list(base.spawn(count))
+    except AttributeError:  # numpy < 1.25: spawn straight off the seed sequence
+        bitgen = base.bit_generator
+        # the public BitGenerator.seed_seq accessor arrived together with
+        # Generator.spawn; older releases expose only the private name
+        seed_seq = getattr(bitgen, "seed_seq", None) or bitgen._seed_seq
+        return [np.random.Generator(type(bitgen)(child)) for child in seed_seq.spawn(count)]
 
 
 def spawn_rngs(rng: RngLike, count: int) -> list[np.random.Generator]:
