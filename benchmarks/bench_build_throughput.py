@@ -51,7 +51,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from hostmeta import host_metadata
+from hostmeta import write_bench_json
 from repro.core import build_private_kdtree, build_private_quadtree
 from repro.core.hilbert_rtree import build_private_hilbert_rtree
 from repro.core.query import nodes_touched, query_variance
@@ -447,32 +447,24 @@ def main(argv=None) -> int:
         return 1
 
     if args.output:
-        payload = {
+        write_bench_json(args.output, {
             "benchmark": "build_throughput",
             "epsilon": args.epsilon,
             "seed": args.seed,
-            "host": host_metadata(),
             "rows": rows,
-        }
-        with open(args.output, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        })
         print(f"written {args.output}")
     if args.median_output and median_rows:
-        payload = {
+        write_bench_json(args.median_output, {
             "benchmark": "median_throughput",
             "epsilon": args.epsilon,
             "seed": args.seed,
-            "host": host_metadata(),
             "baseline": {
                 "kd_hybrid_pr2_speedup": 4.6,
                 "hilbert_compile_pr1_sec": HILBERT_COMPILE_BASELINE_SEC,
             },
             "rows": median_rows,
-        }
-        with open(args.median_output, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        })
         print(f"written {args.median_output}")
     return 0
 

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from hostmeta import host_metadata
+from hostmeta import write_bench_json
 from repro.core import build_private_hilbert_rtree, build_private_kdtree, build_private_quadtree
 from repro.data import road_intersections
 from repro.engine import batch_range_query, compile_hilbert_rtree, compile_psd
@@ -143,18 +143,14 @@ def main(argv=None) -> int:
     for row in rows:
         print(json.dumps(row))
     if args.output:
-        payload = {
+        write_bench_json(args.output, {
             "benchmark": "engine_throughput",
-            "host": host_metadata(),
             "n_points": args.n_points,
             "n_queries": args.n_queries,
             "epsilon": args.epsilon,
             "seed": args.seed,
             "rows": rows,
-        }
-        with open(args.output, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        })
         print(f"written {args.output}")
     return 0
 

@@ -1,0 +1,196 @@
+"""Observability overhead: the fig3 grid sweep with instrumentation on vs off.
+
+The obs layer (``src/repro/obs/``) ships with two hard promises:
+
+* **parity** — enabling metrics and tracing changes nothing the pipeline
+  releases: result rows are identical and the RNG ends in the exact same
+  state (obs code draws nothing);
+* **cost** — a fully instrumented sweep (metrics registry active, span
+  tracing active) stays within **5%** of the uninstrumented wall time.
+
+This benchmark *asserts* the first and *gates* the second on the Figure-3
+quadtree grid sweep (the repo's canonical end-to-end workload).  Timing uses
+min-of-``repeats`` with the two modes interleaved, so a background hiccup
+hits both sides instead of biasing the ratio.
+
+Runnable three ways:
+
+* ``pytest benchmarks/bench_obs_overhead.py`` — one gated row plus a table
+  under ``benchmarks/results/``;
+* ``python benchmarks/bench_obs_overhead.py --output BENCH_obs.json`` —
+  standalone, writing the series (with host metadata) so the repo tracks the
+  obs-overhead trajectory across PRs;
+* ``python benchmarks/bench_obs_overhead.py --smoke`` — a fast CI gate:
+  small inputs, exits non-zero on a parity break or an overhead above 5%.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from hostmeta import write_bench_json
+from repro.experiments.common import ExperimentScale
+from repro.experiments.fig3 import run_fig3
+from repro.obs import (
+    disable_metrics,
+    disable_tracing,
+    enable_metrics,
+    enable_tracing,
+)
+
+#: The gate: an instrumented sweep may cost at most this fraction extra.
+MAX_OVERHEAD_FRACTION = 0.05
+
+COLUMNS = ["n_points", "repetitions", "plain_sec", "instrumented_sec",
+           "overhead_pct", "rows_identical", "rng_state_identical",
+           "trace_events"]
+
+
+def _run_grid(scale: ExperimentScale, epsilons, seed: int, instrumented: bool):
+    """One fig3 grid sweep; returns (rows, final RNG state, trace event count).
+
+    The generator is created *here* and its final state returned, so the
+    caller can prove the instrumented run drew exactly the same stream — the
+    zero-RNG contract of the obs layer, asserted rather than assumed.
+    """
+    gen = np.random.default_rng(seed)
+    if instrumented:
+        enable_metrics()
+        tracer = enable_tracing()
+    try:
+        rows = run_fig3(scale=scale, epsilons=epsilons, rng=gen, workers=1)
+    finally:
+        n_events = 0
+        if instrumented:
+            n_events = len(tracer.events())
+            disable_tracing(flush=False)
+            disable_metrics()
+    return rows, gen.bit_generator.state, n_events
+
+
+def run_benchmark(n_points: int, n_queries: int, quad_height: int,
+                  repetitions: int, epsilons=(0.1, 0.5), seed: int = 0,
+                  repeats: int = 5) -> Dict[str, object]:
+    scale = ExperimentScale(n_points=n_points, n_queries=n_queries,
+                            repetitions=repetitions, quad_height=quad_height)
+
+    # Parity first (also warms every code path before any timing).
+    rows_plain, state_plain, _ = _run_grid(scale, epsilons, seed, instrumented=False)
+    rows_obs, state_obs, n_events = _run_grid(scale, epsilons, seed, instrumented=True)
+    rows_identical = rows_plain == rows_obs
+    rng_identical = state_plain == state_obs
+    if not rows_identical:
+        raise AssertionError("instrumented fig3 rows differ from the plain run")
+    if not rng_identical:
+        raise AssertionError("instrumentation moved the RNG: obs code must draw nothing")
+    if n_events == 0:
+        raise AssertionError("tracing was enabled but recorded no span events")
+
+    # Interleaved paired timing.  The gate uses the *minimum of per-pair
+    # ratios*: each plain run is ratioed against the instrumented run right
+    # next to it, so slow drift (CPU frequency, a noisy neighbour on a shared
+    # host) cancels within the pair instead of landing entirely on one side —
+    # min-of-mins across separated runs proved flaky on small hosts.
+    plain_times: List[float] = []
+    obs_times: List[float] = []
+    ratios: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        _run_grid(scale, epsilons, seed, instrumented=False)
+        plain_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        _run_grid(scale, epsilons, seed, instrumented=True)
+        obs_times.append(time.perf_counter() - start)
+        if plain_times[-1] > 0:
+            ratios.append(obs_times[-1] / plain_times[-1])
+
+    plain_sec = min(plain_times)
+    obs_sec = min(obs_times)
+    overhead = max(0.0, min(ratios) - 1.0) if ratios else 0.0
+
+    return {
+        "benchmark": "obs_overhead",
+        "n_points": n_points,
+        "n_queries_per_shape": n_queries,
+        "quad_height": quad_height,
+        "repetitions": repetitions,
+        "epsilons": list(epsilons),
+        "seed": seed,
+        "repeats": repeats,
+        "plain_sec": round(plain_sec, 4),
+        "instrumented_sec": round(obs_sec, 4),
+        "overhead_pct": round(100.0 * overhead, 2),
+        "max_overhead_pct": 100.0 * MAX_OVERHEAD_FRACTION,
+        "rows_identical": rows_identical,
+        "rng_state_identical": rng_identical,
+        "trace_events": n_events,
+    }
+
+
+def test_obs_overhead(benchmark, capsys):
+    from conftest import report
+
+    result = benchmark.pedantic(
+        lambda: run_benchmark(n_points=20_000, n_queries=30, quad_height=7,
+                              repetitions=3, repeats=3),
+        rounds=1,
+    )
+    report("bench_obs_overhead",
+           "Observability overhead — fig3 grid sweep, instrumented vs plain",
+           [result], COLUMNS, capsys)
+    assert result["rows_identical"] and result["rng_state_identical"]
+    assert result["overhead_pct"] <= result["max_overhead_pct"], result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI gate: parity plus the 5%% overhead ceiling")
+    parser.add_argument("--n-points", type=int, default=None)
+    parser.add_argument("--n-queries", type=int, default=None)
+    parser.add_argument("--quad-height", type=int, default=None)
+    parser.add_argument("--repetitions", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per mode (min is reported)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=None,
+                        help="write the result (with host metadata) as JSON, e.g. BENCH_obs.json")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        defaults = dict(n_points=20_000, n_queries=30, quad_height=7,
+                        repetitions=3, repeats=3)
+    else:
+        defaults = dict(n_points=60_000, n_queries=50, quad_height=8,
+                        repetitions=4, repeats=5)
+    config = {key: getattr(args, key) if getattr(args, key) is not None else value
+              for key, value in defaults.items()}
+
+    result = run_benchmark(n_points=config["n_points"], n_queries=config["n_queries"],
+                           quad_height=config["quad_height"],
+                           repetitions=config["repetitions"],
+                           repeats=config["repeats"], seed=args.seed)
+    result["mode"] = "smoke" if args.smoke else "full"
+
+    print(json.dumps(result, indent=2))
+    if args.output:
+        write_bench_json(args.output, result)
+
+    if result["overhead_pct"] > result["max_overhead_pct"]:
+        print(f"FAIL: instrumented sweep {result['overhead_pct']}% over the plain "
+              f"run (ceiling {result['max_overhead_pct']}%)", file=sys.stderr)
+        return 1
+    print(f"OK: parity exact, zero RNG draws, overhead {result['overhead_pct']}% "
+          f"<= {result['max_overhead_pct']}% ({result['trace_events']} span events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,7 +44,7 @@ from typing import Dict, Sequence
 
 import numpy as np
 
-from hostmeta import host_metadata
+from hostmeta import host_metadata, write_bench_json
 from repro.core.flatbuild import build_flat_structure
 from repro.core.quadtree import QUADTREE_VARIANTS, build_private_quadtree
 from repro.core.splits import QuadSplit
@@ -235,9 +235,7 @@ def main(argv=None) -> int:
 
     print(json.dumps(result, indent=2))
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            json.dump(result, handle, indent=2)
-            handle.write("\n")
+        write_bench_json(args.output, result)
 
     # Parity is asserted inside the sections; the speedup floor applies only
     # where the hardware can express one.

@@ -43,7 +43,7 @@ from typing import Dict, Sequence
 
 import numpy as np
 
-from hostmeta import host_metadata
+from hostmeta import host_metadata, write_bench_json
 from repro.core.quadtree import QUADTREE_VARIANTS, build_private_quadtree, \
     build_private_quadtree_releases
 from repro.data import road_intersections
@@ -233,9 +233,7 @@ def main(argv=None) -> int:
 
     print(json.dumps(result, indent=2))
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            json.dump(result, handle, indent=2)
-            handle.write("\n")
+        write_bench_json(args.output, result)
 
     floor = 1.0 if args.smoke else 10.0
     if result["speedup"] < floor:

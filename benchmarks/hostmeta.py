@@ -1,42 +1,41 @@
 """Host metadata stamped into every ``BENCH_*.json`` payload.
 
 Perf numbers tracked across PRs are only comparable if the JSON records what
-they were measured *on*.  Every benchmark writer calls :func:`host_metadata`
-once and stores the result under a ``"host"`` key, so a trajectory that jumps
-can be told apart from a machine that changed.
+they were measured *on*.  The canonical implementation lives in
+:mod:`repro.obs.hostmeta` (so the CLI's ``--metrics-json`` and ``repro
+experiment --json`` stamp the identical shape); this shim re-exports it for
+the benchmark scripts, anchored at this repo's root so the git commit is
+found regardless of the caller's working directory.
+
+Every benchmark routes its JSON output through :func:`write_bench_json`,
+which stamps the payload under a ``"host"`` key (including the commit) and
+writes it in one place instead of each script hand-rolling the dict.
 """
 
 from __future__ import annotations
 
 import os
-import platform
-import subprocess
 import sys
 from typing import Dict, Optional
 
-import numpy as np
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+try:
+    from repro.obs.hostmeta import host_metadata as _host_metadata
+    from repro.obs.hostmeta import write_bench_json as _write_bench_json
+except ImportError:  # running without PYTHONPATH=src: add the checkout's src
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+    from repro.obs.hostmeta import host_metadata as _host_metadata
+    from repro.obs.hostmeta import write_bench_json as _write_bench_json
+
+__all__ = ["host_metadata", "write_bench_json"]
 
 
-def _git_commit() -> Optional[str]:
-    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    try:
-        result = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True, text=True, timeout=5, cwd=repo_root,
-        )
-    except Exception:
-        return None
-    commit = result.stdout.strip()
-    return commit or None
-
-
-def host_metadata() -> Dict[str, object]:
+def host_metadata(repo_root: Optional[str] = None) -> Dict[str, object]:
     """CPU count, platform, interpreter/numpy versions and the repo commit."""
-    return {
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "machine": platform.machine(),
-        "python": sys.version.split()[0],
-        "numpy": np.__version__,
-        "commit": _git_commit(),
-    }
+    return _host_metadata(repo_root if repo_root is not None else _REPO_ROOT)
+
+
+def write_bench_json(path: str, payload: Dict[str, object]) -> Dict[str, object]:
+    """Stamp ``payload`` with this repo's host metadata and write it as JSON."""
+    return _write_bench_json(path, payload, repo_root=_REPO_ROOT)

@@ -66,8 +66,59 @@ from .experiments import (
     run_fig7b,
 )
 from .geometry import Domain, Rect, TIGER_DOMAIN, bounding_rect
+from .obs import (
+    disable_metrics,
+    disable_tracing,
+    enable_metrics,
+    enable_tracing,
+    format_metrics,
+    host_metadata,
+    metrics_payload,
+)
 
 __all__ = ["main", "build_parser"]
+
+
+# ----------------------------------------------------------------------
+# Observability flags (shared by `query` and `experiment`)
+# ----------------------------------------------------------------------
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect runtime metrics (counters/gauges/histograms) "
+                             "and print a summary on stderr; released bits are "
+                             "unaffected (zero RNG draws)")
+    parser.add_argument("--metrics-json", default=None,
+                        help="write the collected metrics (with a host-metadata "
+                             "stamp) to this JSON file; implies metrics collection")
+    parser.add_argument("--trace", default=None,
+                        help="record span events (wall/CPU time, span tree) to this "
+                             "JSON-lines file; released bits are unaffected")
+
+
+def _obs_begin(args) -> None:
+    """Enable the registry/tracer requested by the command's obs flags."""
+    if getattr(args, "metrics", False) or getattr(args, "metrics_json", None):
+        enable_metrics()
+    if getattr(args, "trace", None):
+        enable_tracing(path=args.trace)
+
+
+def _obs_finish(args) -> None:
+    """Report and tear down whatever :func:`_obs_begin` enabled."""
+    registry = disable_metrics()
+    tracer = disable_tracing()  # flushes the JSONL file if one was requested
+    if registry is not None:
+        if getattr(args, "metrics", False):
+            print(format_metrics(registry), file=sys.stderr)
+        path = getattr(args, "metrics_json", None)
+        if path:
+            payload = {"host": host_metadata(), "metrics": metrics_payload(registry)}
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            print(f"wrote metrics to {path}", file=sys.stderr)
+    if tracer is not None and tracer.path:
+        print(f"wrote {len(tracer.events())} trace events to {tracer.path}",
+              file=sys.stderr)
 
 
 # ----------------------------------------------------------------------
@@ -188,9 +239,10 @@ def _serve_flat(engine, rects, args):
         with ShardedQueryServer(engine, workers=args.workers,
                                 chunk_queries=args.chunk_queries) as server:
             cached = CachedEngine(engine, evaluator=server.batch_query)
-            return cached, cached.batch_range_query(rects)
+            answers = cached.batch_range_query(rects)
+            return cached, answers, server.stats()
     cached = CachedEngine(engine)
-    return cached, cached.batch_range_query(rects)
+    return cached, cached.batch_range_query(rects), None
 
 
 def _cmd_query(args) -> int:
@@ -201,18 +253,19 @@ def _cmd_query(args) -> int:
         raise SystemExit("provide at least one query via --rect or --queries-file")
 
     cached = None
+    server_stats = None
     if args.release.endswith(".npz"):
         try:
             engine = load_engine(args.release)
         except Exception as exc:
             raise SystemExit(f"cannot load compiled engine {args.release!r}: {exc}")
         rects = [_parse_rect(spec, engine.dims) for spec in specs]
-        cached, answers = _serve_flat(engine, rects, args)
+        cached, answers, server_stats = _serve_flat(engine, rects, args)
     else:
         psd = load_psd(args.release)
         rects = [_parse_rect(spec, psd.domain.dims) for spec in specs]
         if args.engine == "flat":
-            cached, answers = _serve_flat(psd.compile(), rects, args)
+            cached, answers, server_stats = _serve_flat(psd.compile(), rects, args)
         else:
             answers = [psd.range_query(rect) for rect in rects]
     for spec, answer in zip(specs, answers):
@@ -226,6 +279,13 @@ def _cmd_query(args) -> int:
             print(f"cache stats: {stats['hits']} hits, {stats['misses']} misses, "
                   f"{stats['size']}/{stats['maxsize']} entries, "
                   f"{stats['evictions']} evictions", file=sys.stderr)
+        if server_stats is not None:
+            print(f"serve stats: {server_stats['workers']} workers, "
+                  f"{server_stats['queries']} queries in {server_stats['batches']} batches "
+                  f"({server_stats['sharded_batches']} sharded, "
+                  f"{server_stats['chunks']} chunks), "
+                  f"{server_stats['shm_bytes_exported']} shm bytes in "
+                  f"{server_stats['shm_segments']} segments", file=sys.stderr)
     return 0
 
 
@@ -303,6 +363,7 @@ def _cmd_experiment(args) -> int:
         payload = {
             "scale": {"name": args.scale, **dataclasses.asdict(scale)},
             "seed": args.seed,
+            "host": host_metadata(),
             "figures": results,
         }
         with open(args.json_out, "w", encoding="utf-8") as handle:
@@ -362,6 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--chunk-queries", type=int, default=1024,
                        help="queries per fanned-out chunk (also caps the evaluator's "
                             "peak frontier memory; default 1024)")
+    _add_obs_args(query)
     query.set_defaults(func=_cmd_query)
 
     experiment = sub.add_parser(
@@ -399,6 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="fan sweep cases across this many processes "
                                  "(fig3/fig5/fig6; -1 = all cores; rows are bitwise "
                                  "identical for any worker count)")
+    _add_obs_args(experiment)
     experiment.set_defaults(func=_cmd_experiment)
     return parser
 
@@ -407,7 +470,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used both by ``python -m repro.cli`` and the console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    _obs_begin(args)
+    try:
+        return args.func(args)
+    finally:
+        _obs_finish(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples

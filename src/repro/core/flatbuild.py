@@ -41,6 +41,7 @@ import numpy as np
 
 from ..geometry.domain import Domain
 from ..geometry.rect import Rect
+from ..obs import counter_add, trace_span
 from ..privacy.mechanisms import laplace_noise
 from ..privacy.rng import RngLike, ensure_rng
 from .splits import SplitRule
@@ -191,9 +192,10 @@ def build_flat_structure(
 
     for level in range(height, 0, -1):
         eps_med = eps_median_per_level if split_rule.is_data_dependent(level, height) else 0.0
-        batched = split_rule.split_level(
-            cur_lo, cur_hi, cur_pts, cur_node, level, height, domain, eps_med, rng=gen
-        )
+        with trace_span("build.split_level", level=level, nodes=int(cur_lo.shape[0])):
+            batched = split_rule.split_level(
+                cur_lo, cur_hi, cur_pts, cur_node, level, height, domain, eps_med, rng=gen
+            )
         if batched is not None:
             # ``level_pts`` is normally the level's own points; a point the
             # reference routes to two children (domain-edge split) appears
@@ -299,19 +301,20 @@ def populate_noisy_counts_flat(
     identical to ``n`` sequential scalar draws from the same generator.
     """
     gen = ensure_rng(rng)
-    for level in range(tree.height, -1, -1):
-        sl = tree.level_slice(level)
-        n_level = sl.stop - sl.start
-        if n_level == 0:
-            continue
-        eps = count_epsilons[level]
-        if noiseless:
-            tree.noisy_count[sl] = tree.true_count[sl].astype(float)
-        elif eps > 0:
-            noise = laplace_noise(1.0 / eps, size=n_level, rng=gen)
-            tree.noisy_count[sl] = tree.true_count[sl] + noise
-        else:
-            tree.noisy_count[sl] = np.nan
+    with trace_span("build.noise", nodes=tree.n_nodes):
+        for level in range(tree.height, -1, -1):
+            sl = tree.level_slice(level)
+            n_level = sl.stop - sl.start
+            if n_level == 0:
+                continue
+            eps = count_epsilons[level]
+            if noiseless:
+                tree.noisy_count[sl] = tree.true_count[sl].astype(float)
+            elif eps > 0:
+                noise = laplace_noise(1.0 / eps, size=n_level, rng=gen)
+                tree.noisy_count[sl] = tree.true_count[sl] + noise
+            else:
+                tree.noisy_count[sl] = np.nan
     tree.post_count = None
     return tree
 
@@ -415,9 +418,10 @@ def apply_ols_flat(tree: FlatTree, count_epsilons: Sequence[float]) -> FlatTree:
     """Compute the OLS counts for every node of a flat tree in place."""
     if not tree.is_complete():
         raise ValueError("OLS post-processing requires a complete tree; apply it before pruning")
-    tree.post_count = ols_beta(
-        tree.level, tree.parent, tree.noisy_count, count_epsilons, tree.fanout, tree.height
-    )
+    with trace_span("build.ols", nodes=tree.n_nodes):
+        tree.post_count = ols_beta(
+            tree.level, tree.parent, tree.noisy_count, count_epsilons, tree.fanout, tree.height
+        )
     return tree
 
 
@@ -432,6 +436,14 @@ def prune_flat(tree: FlatTree, threshold: float) -> int:
     released count (``nan``) are never used as cut points.  Returns the number
     of nodes removed.
     """
+    with trace_span("build.prune", nodes=tree.n_nodes):
+        removed = _prune_flat(tree, threshold)
+    if removed:
+        counter_add("build.nodes_pruned", removed)
+    return removed
+
+
+def _prune_flat(tree: FlatTree, threshold: float) -> int:
     n = tree.n_nodes
     released = tree.released_counts()
     is_leaf = tree.is_leaf
@@ -639,9 +651,11 @@ def build_flat_structures_stacked(
             eps_level = np.repeat(eps_med, k)  # release-major, one per stacked node
         else:
             eps_level = 0.0
-        batched = split_rule.split_level(
-            cur_lo, cur_hi, cur_pts, cur_node, level, height, domain, eps_level, rng=rng
-        )
+        with trace_span("build.split_level_stacked", level=level,
+                        nodes=int(cur_lo.shape[0]), releases=n_releases):
+            batched = split_rule.split_level(
+                cur_lo, cur_hi, cur_pts, cur_node, level, height, domain, eps_level, rng=rng
+            )
         if batched is None:
             raise RuntimeError(
                 f"split rule {split_rule!r} lost its vectorized path at level {level} "
@@ -729,15 +743,16 @@ def populate_noisy_counts_releases(
     # major, level-ordered draw sequence of the sequential loop.  Budgets that
     # fund every level (uniform, geometric) take the maskless path: the
     # per-node scale is a gather of the small per-level inverse table.
-    if funded_levels.all():
-        with np.errstate(divide="ignore"):
-            inv_eps = 1.0 / eps
-        noisy = true + inv_eps[:, batch.level] * noise.reshape(n_releases, n)
-    else:
-        eps_node = eps[:, batch.level]
-        funded = eps_node > 0
-        noisy = np.full((n_releases, n), np.nan)
-        noisy[funded] = true[funded] + (1.0 / eps_node[funded]) * noise
+    with trace_span("build.noise_releases", nodes=n, releases=n_releases):
+        if funded_levels.all():
+            with np.errstate(divide="ignore"):
+                inv_eps = 1.0 / eps
+            noisy = true + inv_eps[:, batch.level] * noise.reshape(n_releases, n)
+        else:
+            eps_node = eps[:, batch.level]
+            funded = eps_node > 0
+            noisy = np.full((n_releases, n), np.nan)
+            noisy[funded] = true[funded] + (1.0 / eps_node[funded]) * noise
     batch.noisy_count = noisy
     batch.post_count = None
     return batch
@@ -750,10 +765,11 @@ def apply_ols_releases(batch: FlatTreeBatch, count_epsilons: np.ndarray) -> Flat
     :func:`ols_beta` call is bit-for-bit the single-release result.
     """
     eps = np.asarray(count_epsilons, dtype=float)
-    post = ols_beta(
-        batch.level, batch.parent, batch.noisy_count.T, eps.T, batch.fanout, batch.height
-    )
-    batch.post_count = np.ascontiguousarray(post.T)
+    with trace_span("build.ols_releases", nodes=batch.n_nodes, releases=batch.n_releases):
+        post = ols_beta(
+            batch.level, batch.parent, batch.noisy_count.T, eps.T, batch.fanout, batch.height
+        )
+        batch.post_count = np.ascontiguousarray(post.T)
     return batch
 
 

@@ -30,6 +30,7 @@ from typing import Iterable, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..geometry.rect import Rect
+from ..obs import counter_add, gauge_max, metrics_enabled, trace_span
 from .flat import FlatPSD, expand_ranges
 
 __all__ = [
@@ -158,22 +159,27 @@ def batch_query(
     """
     qlo, qhi = queries_to_arrays(queries, engine.dims)
     n_queries = qlo.shape[0]
-    if chunk_queries is not None:
-        chunk = int(chunk_queries)
-        if chunk < 1:
-            raise ValueError("chunk_queries must be at least 1")
-        if n_queries > chunk:
-            parts = [
-                _evaluate_frontier(engine, qlo[start : start + chunk],
-                                   qhi[start : start + chunk], use_uniformity)
-                for start in range(0, n_queries, chunk)
-            ]
-            return BatchQueryResult(
-                estimates=np.concatenate([p.estimates for p in parts]),
-                nodes_touched=np.concatenate([p.nodes_touched for p in parts]),
-                variances=np.concatenate([p.variances for p in parts]),
-            )
-    return _evaluate_frontier(engine, qlo, qhi, use_uniformity)
+    counter_add("engine.queries", n_queries)
+    with trace_span("engine.batch_query", queries=n_queries):
+        if chunk_queries is not None:
+            chunk = int(chunk_queries)
+            if chunk < 1:
+                raise ValueError("chunk_queries must be at least 1")
+            if n_queries > chunk:
+                counter_add("engine.chunks", -(-n_queries // chunk))
+                parts = [
+                    _evaluate_frontier(engine, qlo[start : start + chunk],
+                                       qhi[start : start + chunk], use_uniformity)
+                    for start in range(0, n_queries, chunk)
+                ]
+                return BatchQueryResult(
+                    estimates=np.concatenate([p.estimates for p in parts]),
+                    nodes_touched=np.concatenate([p.nodes_touched for p in parts]),
+                    variances=np.concatenate([p.variances for p in parts]),
+                )
+        if n_queries:
+            counter_add("engine.chunks", 1)
+        return _evaluate_frontier(engine, qlo, qhi, use_uniformity)
 
 
 def _evaluate_frontier(
@@ -190,8 +196,12 @@ def _evaluate_frontier(
     # Wavefront: query q is examining node n, starting with every query at root.
     q_idx = np.arange(n_queries, dtype=np.int64)
     n_idx = np.zeros(n_queries, dtype=np.int64)
+    track_peak = metrics_enabled()
+    peak = 0
 
     while q_idx.size:
+        if track_peak and q_idx.size > peak:
+            peak = int(q_idx.size)
         node_lo = engine.lo[n_idx]
         node_hi = engine.hi[n_idx]
         cur_qlo = qlo[q_idx]
@@ -252,6 +262,8 @@ def _evaluate_frontier(
             q_idx[descend], engine.child_start[n_idx[descend]], engine.child_end[n_idx[descend]]
         )
 
+    if track_peak and peak:
+        gauge_max("engine.frontier_peak", peak)
     return BatchQueryResult(estimates, touched, variances)
 
 
@@ -370,6 +382,15 @@ def compile_query_matrix(
     ``batch_range_query(engine, queries)`` up to float summation order, and
     ``S.dot(counts_matrix)`` evaluates every release of a sweep in one product.
     """
+    with trace_span("engine.compile_matrix"):
+        matrix = _compile_query_matrix(engine, queries)
+    counter_add("engine.matrices_compiled", 1)
+    return matrix
+
+
+def _compile_query_matrix(
+    engine: FlatPSD, queries: Union[Iterable[QueryInput], np.ndarray]
+) -> QueryMatrix:
     qlo, qhi = queries_to_arrays(queries, engine.dims)
     n_queries = qlo.shape[0]
     q_parts = []

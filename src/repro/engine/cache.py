@@ -29,6 +29,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..obs import counter_add
 from .batch import BatchQueryResult, QueryInput, batch_query, queries_to_arrays
 from .flat import FlatPSD
 
@@ -79,9 +80,11 @@ class QueryCache:
             entry = self._store.get(key)
             if entry is None:
                 self.misses += 1
+                counter_add("cache.misses")
                 return None
             self._store.move_to_end(key)
             self.hits += 1
+            counter_add("cache.hits")
             return entry
 
     def put(self, key: Tuple[float, ...], entry: CacheEntry) -> None:
@@ -92,6 +95,7 @@ class QueryCache:
             if len(self._store) > self.maxsize:
                 self._store.popitem(last=False)
                 self.evictions += 1
+                counter_add("cache.evictions")
 
     def clear(self) -> None:
         with self._lock:

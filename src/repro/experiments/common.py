@@ -49,6 +49,7 @@ import numpy as np
 from ..data.tiger import road_intersections
 from ..geometry.domain import TIGER_DOMAIN, Domain
 from ..geometry.rect import Rect
+from ..obs import counter_add, trace_span
 from ..privacy.rng import RngLike, ensure_rng
 from ..queries.metrics import median_relative_error
 from ..queries.workload import QueryShape, QueryWorkload, generate_workload
@@ -292,14 +293,20 @@ def case_rows(
     by the in-process loop and the process-parallel executor — which is what
     makes ``workers=N`` bitwise identical to ``workers=1``.
     """
-    releases = case.build(gen)
+    import os
+
+    counter_add("sweep.cases", worker=os.getpid())
+    with trace_span("sweep.build_case", case=case.label):
+        releases = case.build(gen)
     collection = _as_release_collection(releases)
     if len(case.keys) != collection.n_releases:
         raise ValueError(
             f"case {case.label!r} declares {len(case.keys)} release keys but "
             f"built {collection.n_releases} releases"
         )
-    errors = release_workload_errors(collection, workloads, matrix_cache=matrix_cache)
+    counter_add("sweep.releases", collection.n_releases)
+    with trace_span("sweep.evaluate_case", case=case.label):
+        errors = release_workload_errors(collection, workloads, matrix_cache=matrix_cache)
     rows: List[Dict[str, object]] = []
     groups: Dict[Tuple, Tuple[Dict[str, object], List[int]]] = {}
     for r, key in enumerate(case.keys):

@@ -1,0 +1,69 @@
+"""Host metadata stamps for metrics payloads and benchmark JSON files.
+
+Numbers tracked across machines or PRs are only comparable if the payload
+records what they were measured *on*.  :func:`host_metadata` captures the CPU
+count, platform, interpreter and numpy versions, and the repo's git commit;
+benchmark writers and the ``--metrics-json`` / ``repro experiment --json``
+outputs all stamp it under a ``"host"`` key.  ``benchmarks/hostmeta.py``
+re-exports this module so scripts outside the installed package share the
+exact same stamp.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["host_metadata", "write_bench_json"]
+
+
+def _git_commit(repo_root: Optional[str] = None) -> Optional[str]:
+    if repo_root is None:
+        repo_root = os.getcwd()
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5, cwd=repo_root,
+        )
+    except Exception:
+        return None
+    commit = result.stdout.strip()
+    return commit or None
+
+
+def host_metadata(repo_root: Optional[str] = None) -> Dict[str, object]:
+    """CPU count, platform, interpreter/numpy versions and the repo commit.
+
+    ``repo_root`` anchors the ``git rev-parse`` lookup; it defaults to the
+    current working directory (callers running from a checkout).
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "commit": _git_commit(repo_root),
+    }
+
+
+def write_bench_json(path: str, payload: Dict[str, object],
+                     repo_root: Optional[str] = None) -> Dict[str, object]:
+    """Stamp ``payload`` with host metadata and write it to ``path`` as JSON.
+
+    The single emit helper every benchmark routes through: guarantees the
+    ``"host"`` key (including the git commit) is present and identically
+    shaped in every ``BENCH_*.json``.  Returns the stamped payload.
+    """
+    payload = dict(payload)
+    payload["host"] = host_metadata(repo_root)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload

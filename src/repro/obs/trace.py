@@ -1,0 +1,214 @@
+"""Span-based tracing with JSON-lines event output.
+
+A span wraps one phase of work (``with trace_span("build.split_level",
+level=k):``) and records its wall-clock and CPU duration plus a span tree
+(parent/child ids from a per-thread stack).  Spans serve two consumers:
+
+* an active :class:`Tracer` collects one JSON-serialisable event dict per
+  span, optionally flushed to a ``.jsonl`` file (the ``--trace out.jsonl``
+  CLI flag) — one event per line, children appear before their parent
+  because events are emitted at span *exit*;
+* an active metrics registry (see :mod:`repro.obs.registry`) receives every
+  span's wall duration as an observation into the ``phase_seconds`` histogram
+  labelled ``phase=<span name>`` — so ``--metrics`` alone still yields
+  per-phase timing without any event stream.
+
+Like the registry, tracing is **off by default**: when neither a tracer nor
+a registry is active, :func:`trace_span` returns a shared no-op context
+manager and the instrumented code pays a couple of global reads per phase.
+Span ids are sequential integers — tracing consumes zero RNG draws, which is
+what keeps released bits bitwise identical with tracing on or off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from . import registry as _registry
+
+__all__ = [
+    "Tracer",
+    "active_tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "trace_span",
+    "tracing_enabled",
+]
+
+
+class Tracer:
+    """Collects span events; optionally writes them to a JSONL file.
+
+    Events accumulate in memory (plain dicts, picklable — worker processes
+    return theirs with task results).  When constructed with a ``path``, the
+    whole buffer is flushed there by :meth:`flush` / :func:`disable_tracing`,
+    one JSON object per line.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, Any]] = []
+        self._next_id = 1
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def allocate_span(self) -> int:
+        """The next sequential span id (no RNG, ever)."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
+
+    def record(self, event: Dict[str, Any]) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    # ------------------------------------------------------------------
+    def events(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._events)
+
+    def drain_events(self) -> List[Dict[str, Any]]:
+        """Return and clear the buffered events (per-task worker reporting)."""
+        with self._lock:
+            events, self._events = self._events, []
+            return events
+
+    def absorb(self, events: Optional[List[Dict[str, Any]]]) -> None:
+        """Append events drained from another process's tracer."""
+        if not events:
+            return
+        with self._lock:
+            self._events.extend(events)
+
+    def flush(self) -> None:
+        """Write all buffered events to ``self.path`` (no-op without a path)."""
+        if not self.path:
+            return
+        with self._lock:
+            events = list(self._events)
+        with open(self.path, "w", encoding="utf-8") as fh:
+            for event in events:
+                fh.write(json.dumps(event, sort_keys=True))
+                fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# The module-level active tracer (off by default)
+# ----------------------------------------------------------------------
+_TRACER: Optional[Tracer] = None
+
+
+def enable_tracing(path: Optional[str] = None, tracer: Optional[Tracer] = None) -> Tracer:
+    """Install (and return) the process's active tracer."""
+    global _TRACER
+    _TRACER = tracer if tracer is not None else Tracer(path=path)
+    return _TRACER
+
+
+def disable_tracing(flush: bool = True) -> Optional[Tracer]:
+    """Remove and return the active tracer, flushing its file if it has one."""
+    global _TRACER
+    tracer, _TRACER = _TRACER, None
+    if tracer is not None and flush:
+        tracer.flush()
+    return tracer
+
+
+def active_tracer() -> Optional[Tracer]:
+    return _TRACER
+
+
+def tracing_enabled() -> bool:
+    return _TRACER is not None
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+class _NullSpan:
+    """The shared do-nothing span used while observability is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: times itself and reports to the tracer and/or registry."""
+
+    __slots__ = ("name", "attrs", "tracer", "span_id", "parent_id", "_wall0", "_cpu0")
+
+    def __init__(self, name: str, attrs: Dict[str, Any], tracer: Optional[Tracer]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.tracer = tracer
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        tracer = self.tracer
+        if tracer is not None:
+            stack = tracer._stack()
+            self.parent_id = stack[-1] if stack else None
+            self.span_id = tracer.allocate_span()
+            stack.append(self.span_id)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        tracer = self.tracer
+        if tracer is not None:
+            stack = tracer._stack()
+            if stack and stack[-1] == self.span_id:
+                stack.pop()
+            event: Dict[str, Any] = {
+                "span": self.name,
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
+                "pid": os.getpid(),
+                "wall_s": wall,
+                "cpu_s": cpu,
+            }
+            if self.attrs:
+                event["attrs"] = {k: v for k, v in self.attrs.items()}
+            tracer.record(event)
+        reg = _registry.active_registry()
+        if reg is not None:
+            reg.observe("phase_seconds", wall, phase=self.name)
+
+
+def trace_span(name: str, **attrs: Any):
+    """A context manager timing one named phase of work.
+
+    Returns the shared null span when both the tracer and the metrics
+    registry are off, so dormant instrumentation costs two global reads and
+    nothing else.
+    """
+    tracer = _TRACER
+    if tracer is None and _registry.active_registry() is None:
+        return _NULL_SPAN
+    return _Span(name, attrs, tracer)

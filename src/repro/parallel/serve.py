@@ -29,6 +29,14 @@ import numpy as np
 
 from ..engine.batch import BatchQueryResult, QueryInput, batch_query, queries_to_arrays
 from ..engine.flat import FlatPSD
+from ..obs import (
+    counter_add,
+    gauge_max,
+    merge_obs_snapshot,
+    metrics_enabled,
+    obs_snapshot,
+    tracing_enabled,
+)
 from .shm import SharedArena, SharedArrayHandle, attach_array, dumps_shared, loads_shared
 
 __all__ = ["ShardedQueryServer"]
@@ -42,14 +50,18 @@ _SERVE: Dict = {}
 
 
 def _init_serve_worker(payload: bytes) -> None:
-    _SERVE.update(loads_shared(payload))
+    from .sweep import _init_worker_obs
+
+    state = loads_shared(payload)
+    _SERVE.update(state)
+    _init_worker_obs(state.get("obs") or {})
 
 
 def _serve_chunk(
     rows: np.ndarray, use_uniformity: bool
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, object]:
     result = batch_query(_SERVE["engine"], rows, use_uniformity=use_uniformity)
-    return result.estimates, result.nodes_touched, result.variances
+    return result.estimates, result.nodes_touched, result.variances, obs_snapshot()
 
 
 def _serve_matrix_rows(
@@ -110,6 +122,16 @@ class ShardedQueryServer:
         self._next_matrix_key = 0
         self._arena = SharedArena()
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Plain-int serving stats, kept unconditionally (like QueryCache's
+        # counters) so `repro query --workers N --stats` reports them without
+        # the metrics registry being enabled.
+        self._stats: Dict[str, int] = {
+            "batches": 0,
+            "sharded_batches": 0,
+            "queries": 0,
+            "chunks": 0,
+            "matrix_dots": 0,
+        }
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         """Start the worker pool on first need.
@@ -121,7 +143,12 @@ class ShardedQueryServer:
         """
         if self._pool is None:
             payload = dumps_shared(
-                {"engine": self.engine, "matrices": dict(self._matrices)}, self._arena
+                {
+                    "engine": self.engine,
+                    "matrices": dict(self._matrices),
+                    "obs": {"metrics": metrics_enabled(), "trace": tracing_enabled()},
+                },
+                self._arena,
             )
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
@@ -140,6 +167,9 @@ class ShardedQueryServer:
         qlo, qhi = queries_to_arrays(queries, self.engine.dims)
         n_queries = qlo.shape[0]
         rows = np.hstack([qlo, qhi])
+        self._stats["batches"] += 1
+        self._stats["queries"] += n_queries
+        counter_add("serve.queries", n_queries)
         if self.workers <= 1 or n_queries <= self.chunk_queries:
             return batch_query(self.engine, rows, use_uniformity=use_uniformity,
                                chunk_queries=self.chunk_queries)
@@ -149,7 +179,15 @@ class ShardedQueryServer:
                         use_uniformity)
             for start in range(0, n_queries, self.chunk_queries)
         ]
-        parts = [future.result() for future in futures]
+        self._stats["sharded_batches"] += 1
+        self._stats["chunks"] += len(futures)
+        counter_add("serve.chunks", len(futures))
+        gauge_max("serve.queue_depth", len(futures))
+        parts = []
+        for future in futures:
+            estimates, touched, variances, worker_obs = future.result()
+            merge_obs_snapshot(worker_obs)
+            parts.append((estimates, touched, variances))
         return BatchQueryResult(
             estimates=np.concatenate([p[0] for p in parts]),
             nodes_touched=np.concatenate([p[1] for p in parts]),
@@ -199,6 +237,7 @@ class ShardedQueryServer:
         matrix = self._matrices[key]
         counts = np.asarray(counts, dtype=np.float64)
         n_queries = matrix.n_queries
+        self._stats["matrix_dots"] += 1
         if self.workers <= 1 or n_queries <= self.chunk_queries:
             return matrix.dot(counts)
         pool = self._ensure_pool()
@@ -216,6 +255,19 @@ class ShardedQueryServer:
         ]
         parts = [future.result() for future in futures]
         return np.concatenate(parts, axis=0)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Serving counters: batches, queries, chunks fanned out, shm traffic.
+
+        Always available (plain ints, no registry needed) so the CLI's
+        ``--stats`` can report the sharded path next to the cache counters.
+        """
+        out = dict(self._stats)
+        out["workers"] = self.workers
+        out["shm_bytes_exported"] = int(self._arena.nbytes())
+        out["shm_segments"] = int(self._arena.n_segments)
+        return out
 
     # ------------------------------------------------------------------
     def close(self) -> None:

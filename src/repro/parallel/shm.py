@@ -34,6 +34,8 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from ..obs import counter_add
+
 __all__ = [
     "SHARE_THRESHOLD_BYTES",
     "SharedArrayHandle",
@@ -102,6 +104,8 @@ class SharedArena:
         self._segments.append(segment)
         self._handles[id(array)] = handle
         self._keepalive.append(array)
+        counter_add("shm.segments_exported")
+        counter_add("shm.bytes_exported", segment.size)
         return handle
 
     def close(self, unlink: bool = True) -> None:
@@ -170,6 +174,8 @@ def attach_array(handle: SharedArrayHandle) -> np.ndarray:
     view = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=segment.buf)
     view.setflags(write=False)
     _ATTACHED[handle.shm_name] = (segment, view)
+    counter_add("shm.segments_attached")
+    counter_add("shm.bytes_attached", view.nbytes)
     return view
 
 

@@ -34,6 +34,16 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import (
+    disable_metrics,
+    disable_tracing,
+    enable_metrics,
+    enable_tracing,
+    merge_obs_snapshot,
+    metrics_enabled,
+    obs_snapshot,
+    tracing_enabled,
+)
 from .shm import SharedArena, dumps_shared, loads_shared
 
 __all__ = ["engine_from_structure", "resolve_workers", "run_cases_parallel"]
@@ -132,13 +142,33 @@ def _init_sweep_worker(payload: bytes) -> None:
     state["matrix_cache"] = dict(state.get("matrix_cache") or {})
     _WORKER.clear()
     _WORKER.update(state)
+    _init_worker_obs(state.get("obs") or {})
 
 
-def _run_case(index: int, gen: np.random.Generator) -> List[Dict[str, object]]:
+def _init_worker_obs(flags: Dict[str, bool]) -> None:
+    """Give the worker fresh observability state matching the parent's flags.
+
+    Forked workers inherit the parent's active registry/tracer *object* —
+    including whatever the parent recorded before the fork — so a fresh
+    registry per worker is mandatory: each worker then reports only its own
+    increments and the parent's merge never double counts.
+    """
+    if flags.get("metrics"):
+        enable_metrics()
+    else:
+        disable_metrics()
+    if flags.get("trace"):
+        enable_tracing()  # no path: events ship back with task results
+    else:
+        disable_tracing(flush=False)
+
+
+def _run_case(index: int, gen: np.random.Generator):
     from ..experiments.common import case_rows
 
     case = _WORKER["cases"][index]
-    return case_rows(case, gen, _WORKER["workloads"], _WORKER["matrix_cache"])
+    rows = case_rows(case, gen, _WORKER["workloads"], _WORKER["matrix_cache"])
+    return rows, obs_snapshot()
 
 
 # ----------------------------------------------------------------------
@@ -179,6 +209,7 @@ def run_cases_parallel(
                     "cases": shipped,
                     "workloads": workloads,
                     "matrix_cache": _seed_matrix_cache(list(shipped.values()), workloads),
+                    "obs": {"metrics": metrics_enabled(), "trace": tracing_enabled()},
                 },
                 arena,
             )
@@ -197,7 +228,9 @@ def run_cases_parallel(
                 for i in local_indices:
                     rows_by_case[i] = case_rows(cases[i], case_gens[i], workloads, local_cache)
                 for i, future in futures.items():
-                    rows_by_case[i] = future.result()
+                    rows, worker_obs = future.result()
+                    merge_obs_snapshot(worker_obs)
+                    rows_by_case[i] = rows
         else:
             local_cache = {}
             for i in local_indices:

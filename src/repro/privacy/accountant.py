@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from ..obs import counter_add, gauge_set, metrics_enabled
+
 __all__ = ["PrivacyCharge", "PrivacyAccountant"]
 
 
@@ -84,6 +86,18 @@ class PrivacyAccountant:
         Builders therefore call this once per level per operation type.
         """
         self.charges.append(PrivacyCharge(epsilon=float(epsilon), level=int(level), kind=kind, delta=float(delta)))
+        if metrics_enabled():
+            # The seed of the multi-tenant budget ledger: running ε totals as
+            # gauges.  Gauges merge by max across processes, and every process
+            # that builds the same release reports identical running totals,
+            # so the merged view stays the per-release spend (not a sum).
+            counter_add("privacy.charges", kind=kind)
+            lvl = int(level)
+            level_total = sum(c.epsilon for c in self.charges if c.level == lvl)
+            kind_total = sum(c.epsilon for c in self.charges if c.kind == kind)
+            gauge_set("privacy.epsilon_spent", level_total, level=lvl)
+            gauge_set("privacy.epsilon_spent", kind_total, kind=kind)
+            gauge_set("privacy.path_epsilon", self.path_epsilon)
 
     # ------------------------------------------------------------------
     @property

@@ -2,8 +2,13 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
+from repro.core.builder import BudgetSplit, build_psd, build_psd_releases
+from repro.core.splits import KDSplit, QuadSplit
+from repro.data.tiger import road_intersections
+from repro.geometry.domain import TIGER_DOMAIN
 from repro.privacy import PrivacyAccountant, PrivacyCharge
 
 
@@ -69,3 +74,82 @@ class TestPrivacyAccountant:
         acc.charge(0.2, level=3, kind="median")
         rows = acc.summary()
         assert rows[0][0] == 3 and rows[-1][0] == 0
+
+
+# ----------------------------------------------------------------------
+# The accountant as produced by a full release sweep
+# ----------------------------------------------------------------------
+HEIGHT = 3
+EPSILONS = (0.5, 1.0)
+REPETITIONS = 2
+
+
+@pytest.fixture(scope="module")
+def points():
+    return road_intersections(n=1_200, rng=np.random.default_rng(0))
+
+
+class TestAccountantThroughSweep:
+    """``build_psd_releases`` must hand every release a faithful ledger.
+
+    The batch pipeline never runs the sequential accountant code path, so its
+    reconstructed per-release ledgers (``PSDReleaseBatch._make_accountant``)
+    are pinned here: per-kind and per-level breakdowns, path composition, and
+    equality with what the equivalent sequential ``build_psd`` records.
+    """
+
+    def test_quad_sweep_counts_only(self, points):
+        batch = build_psd_releases(points, TIGER_DOMAIN, HEIGHT, QuadSplit(),
+                                   EPSILONS, repetitions=REPETITIONS, rng=0)
+        release_eps = [e for e in EPSILONS for _ in range(REPETITIONS)]
+        assert batch.n_releases == len(release_eps)
+        for r, epsilon in enumerate(release_eps):
+            acc = batch.release(r).accountant
+            # data-independent splits spend nothing on medians
+            assert set(acc.per_kind) == {"count"}
+            assert acc.per_kind["count"] == pytest.approx(epsilon)
+            assert acc.path_epsilon == pytest.approx(epsilon)
+            # the geometric strategy funds every level of the tree
+            assert set(acc.per_level) == set(range(HEIGHT + 1))
+            assert sum(acc.per_level.values()) == pytest.approx(epsilon)
+            acc.assert_within_budget()
+
+    def test_quad_release_ledger_matches_sequential_build(self, points):
+        batch = build_psd_releases(points, TIGER_DOMAIN, HEIGHT, QuadSplit(),
+                                   (0.5,), rng=0)
+        sequential = build_psd(points, TIGER_DOMAIN, HEIGHT, QuadSplit(),
+                               epsilon=0.5, rng=1)
+        got, ref = batch.release(0).accountant, sequential.accountant
+        assert got.per_level == pytest.approx(ref.per_level)
+        assert got.per_kind == pytest.approx(ref.per_kind)
+        assert got.path_epsilon == pytest.approx(ref.path_epsilon)
+
+    def test_kd_sweep_splits_count_and_median_budget(self, points):
+        rule = KDSplit(median_method="em")
+        batch = build_psd_releases(points, TIGER_DOMAIN, HEIGHT, rule, (1.0,),
+                                   repetitions=REPETITIONS,
+                                   budget_split=BudgetSplit(count_fraction=0.7), rng=0)
+        dd_levels = rule.data_dependent_levels(HEIGHT)
+        assert dd_levels, "kd splits must be data dependent"
+        median_share = 0.3 / len(dd_levels)
+        for r in range(batch.n_releases):
+            acc = batch.release(r).accountant
+            assert set(acc.per_kind) == {"count", "median"}
+            assert acc.per_kind["count"] == pytest.approx(0.7)
+            assert acc.per_kind["median"] == pytest.approx(0.3)
+            assert acc.path_epsilon == pytest.approx(1.0)
+            # the median budget is spread evenly over the splitting levels
+            for level in dd_levels:
+                assert acc.per_level[level] >= median_share - 1e-12
+            acc.assert_within_budget()
+
+    def test_kd_ledger_matches_sequential_build(self, points):
+        rule_args = dict(median_method="em")
+        split = BudgetSplit(count_fraction=0.7)
+        batch = build_psd_releases(points, TIGER_DOMAIN, HEIGHT, KDSplit(**rule_args),
+                                   (1.0,), budget_split=split, rng=0)
+        sequential = build_psd(points, TIGER_DOMAIN, HEIGHT, KDSplit(**rule_args),
+                               epsilon=1.0, budget_split=split, rng=1)
+        got, ref = batch.release(0).accountant, sequential.accountant
+        assert got.per_level == pytest.approx(ref.per_level)
+        assert got.per_kind == pytest.approx(ref.per_kind)
