@@ -233,18 +233,28 @@ def main(argv=None) -> int:
     result["mode"] = "smoke" if args.smoke else "full"
     result["host"] = host_metadata()
 
+    # Parity is asserted inside the sections; the speedup floor applies only
+    # where the hardware can express one.  Stamp whether it applied into the
+    # JSON so a checked-in sub-1x number from a small host reads as "gate
+    # skipped", not as a regression.
+    gate_active = not args.smoke and cores >= 4
+    result["sweep"]["gated"] = gate_active
+    if not gate_active:
+        result["sweep"]["gate_skipped_reason"] = (
+            "smoke mode has no speedup floor" if args.smoke
+            else f"{cores} core(s) < 4: nothing to parallelise onto"
+        )
+
     print(json.dumps(result, indent=2))
     if args.output:
         write_bench_json(args.output, result)
 
-    # Parity is asserted inside the sections; the speedup floor applies only
-    # where the hardware can express one.
     speedup = result["sweep"]["speedup"]
-    if not args.smoke and cores >= 4 and speedup < 3.0:
+    if gate_active and speedup < 3.0:
         print(f"FAIL: sweep speedup {speedup}x below the 3x floor on "
               f"{cores} cores", file=sys.stderr)
         return 1
-    gated = "gated" if (not args.smoke and cores >= 4) else "recorded"
+    gated = "gated" if gate_active else "recorded"
     print(f"OK: parity exact; workers={result['sweep']['workers']} sweep "
           f"{speedup}x over workers=1 ({gated}; {cores} cores)")
     return 0

@@ -6,11 +6,14 @@ Four sub-commands cover the life-cycle of a private release:
   or the built-in synthetic road data), build a chosen PSD variant under a
   privacy budget, and write the released structure to a JSON file;
 * ``compile`` — compile a released JSON structure into a flat array engine
-  (``.npz``) optimised for high-throughput query serving;
-* ``query``  — load a released structure (JSON, or a compiled ``.npz``
-  engine) and answer rectangular range queries from it — one-off via
-  ``--rect`` or in bulk via ``--queries-file``; ``--engine flat`` serves from
-  the compiled backend (no access to the original data needed either way);
+  optimised for high-throughput query serving: compressed ``.npz``
+  (``--format npz``, the default) or the zero-copy memory-mapped format v2
+  (``--format mmap``, optionally with ``--precision float32`` storage);
+* ``query``  — load a released structure (JSON, or a compiled engine in
+  either format — detected from the file's magic bytes, not its suffix) and
+  answer rectangular range queries from it — one-off via ``--rect`` or in
+  bulk via ``--queries-file``; ``--engine flat`` serves from the compiled
+  backend (no access to the original data needed either way);
 * ``experiment`` — run one of the paper-figure experiments through the
   multi-release sweep pipeline at a named scale (``smoke`` / ``default`` /
   ``paper``) and print its series (optionally writing them as JSON), the same
@@ -23,8 +26,9 @@ Examples
     python -m repro.cli build --synthetic 100000 --variant quad-opt \
         --epsilon 0.5 --height 8 --output release.json
     python -m repro.cli compile release.json --output engine.npz
+    python -m repro.cli compile release.json --format mmap --output engine.psdm
     python -m repro.cli query release.json --rect=-123,46,-121,48
-    python -m repro.cli query engine.npz --queries-file workload.txt
+    python -m repro.cli query engine.psdm --queries-file workload.txt --workers 4
     python -m repro.cli experiment --figure 3 --scale smoke --json fig3.json
     python -m repro.cli experiment fig3 --epsilons 0.5 --n-points 20000
 """
@@ -53,7 +57,16 @@ from .core.kdtree import KDTREE_VARIANTS
 from .core.quadtree import QUADTREE_VARIANTS
 from .core.query import QUERY_BACKENDS
 from .data import road_intersections
-from .engine import CachedEngine, batch_range_query, compile_psd, load_engine, save_engine
+from .engine import (
+    CachedEngine,
+    ENGINE_FORMATS,
+    PRECISIONS,
+    batch_range_query,
+    compile_psd,
+    detect_engine_format,
+    load_engine,
+    save_engine,
+)
 from .experiments import (
     ExperimentScale,
     format_table,
@@ -217,12 +230,16 @@ def _read_queries_file(path: str) -> List[str]:
 def _cmd_compile(args) -> int:
     psd = load_psd(args.release)
     engine = compile_psd(psd)
-    # `repro query` dispatches on the '.npz' suffix, so make sure the artifact
-    # carries it regardless of what the user typed.
-    output = args.output if args.output.endswith(".npz") else args.output + ".npz"
-    save_engine(engine, output)
+    output = args.output
+    if args.format == "npz" and not output.endswith(".npz"):
+        # np.load's magic-based readers expect the suffix on npz archives, and
+        # it keeps the artifact self-describing for humans; mmap files are
+        # detected purely by magic, so any name (we suggest .psdm) works.
+        output += ".npz"
+    save_engine(engine, output, format=args.format, precision=args.precision)
     print(f"compiled {engine.name}: {engine.n_nodes} nodes, "
-          f"{engine.nbytes() / 1024:.1f} KiB of arrays, written to {output}")
+          f"{engine.nbytes() / 1024:.1f} KiB of arrays, written to {output} "
+          f"(format {args.format}, {args.precision} storage)")
     return 0
 
 
@@ -254,11 +271,18 @@ def _cmd_query(args) -> int:
 
     cached = None
     server_stats = None
-    if args.release.endswith(".npz"):
+    engine = None
+    # Compiled engines are recognised by magic bytes, so either format serves
+    # under any file name; everything else goes through the JSON loader.
+    fmt = detect_engine_format(args.release)
+    if fmt is None and args.release.endswith(".npz"):
+        fmt = "npz"  # force the engine error path for a broken .npz
+    if fmt is not None:
         try:
             engine = load_engine(args.release)
         except Exception as exc:
             raise SystemExit(f"cannot load compiled engine {args.release!r}: {exc}")
+    if engine is not None:
         rects = [_parse_rect(spec, engine.dims) for spec in specs]
         cached, answers, server_stats = _serve_flat(engine, rects, args)
     else:
@@ -285,7 +309,9 @@ def _cmd_query(args) -> int:
                   f"({server_stats['sharded_batches']} sharded, "
                   f"{server_stats['chunks']} chunks), "
                   f"{server_stats['shm_bytes_exported']} shm bytes in "
-                  f"{server_stats['shm_segments']} segments", file=sys.stderr)
+                  f"{server_stats['shm_segments']} segments, "
+                  f"{server_stats['engine_mapped_bytes']} engine bytes memory-mapped",
+                  file=sys.stderr)
     return 0
 
 
@@ -400,14 +426,24 @@ def build_parser() -> argparse.ArgumentParser:
     build.set_defaults(func=_cmd_build)
 
     compile_ = sub.add_parser("compile",
-                              help="compile a released JSON structure into a flat .npz engine")
+                              help="compile a released JSON structure into a flat engine "
+                                   "(.npz or zero-copy mmap format)")
     compile_.add_argument("release", help="path of the released JSON file")
-    compile_.add_argument("--output", required=True, help="path of the compiled .npz engine")
+    compile_.add_argument("--output", required=True, help="path of the compiled engine")
+    compile_.add_argument("--format", choices=ENGINE_FORMATS, default="npz",
+                          help="'npz': compressed archive, smallest on disk; 'mmap': "
+                               "page-aligned format v2 attached zero-copy via np.memmap "
+                               "(suggested suffix .psdm; default npz)")
+    compile_.add_argument("--precision", choices=PRECISIONS, default="float64",
+                          help="storage precision: float32 halves count/offset storage "
+                               "(geometry stays float64; rounding error sits below the "
+                               "Laplace noise floor at realistic epsilons; default float64)")
     compile_.set_defaults(func=_cmd_compile)
 
     query = sub.add_parser("query",
-                           help="answer range queries from a released JSON structure or compiled .npz engine")
-    query.add_argument("release", help="path of the released JSON file (or a compiled .npz engine)")
+                           help="answer range queries from a released JSON structure or compiled engine")
+    query.add_argument("release", help="path of the released JSON file (or a compiled engine "
+                                       "in either format; detected by magic bytes)")
     query.add_argument("--rect", action="append", default=None,
                        help="query rectangle as lo1,lo2,...,hi1,hi2,... (repeatable)")
     query.add_argument("--queries-file", default=None,

@@ -32,9 +32,12 @@ range queries over it with vectorised NumPy kernels:
   up to float summation order).
 * :mod:`repro.engine.cache` — an LRU answer cache keyed by canonicalised
   query rectangles, for serving workloads with repeated or popular queries.
-* :mod:`repro.engine.io` — ``.npz`` save/load so a compiled engine can be
-  shipped to query servers without re-compiling (or even without the JSON
-  release).
+* :mod:`repro.engine.io` — save/load so a compiled engine can be shipped to
+  query servers without re-compiling (or even without the JSON release).
+  Two formats: compressed ``.npz`` (format v1) and the page-aligned
+  zero-copy layout of :mod:`repro.engine.store` (format v2), which attaches
+  via ``np.memmap`` in microseconds and optionally stores counts in reduced
+  precision (float32 counts / int32 child offsets).
 
 When to prefer the flat engine
 ------------------------------
@@ -64,7 +67,13 @@ from .flat import (
     compiled_engine,
     invalidate_compiled_engine,
 )
-from .io import load_engine, save_engine
+from .io import ENGINE_FORMATS, detect_engine_format, load_engine, save_engine
+from .store import (
+    PRECISIONS,
+    engine_with_precision,
+    load_engine_mmap,
+    save_engine_mmap,
+)
 
 __all__ = [
     "FlatPSD",
@@ -83,4 +92,10 @@ __all__ = [
     "canonical_rect_key",
     "save_engine",
     "load_engine",
+    "detect_engine_format",
+    "ENGINE_FORMATS",
+    "PRECISIONS",
+    "engine_with_precision",
+    "save_engine_mmap",
+    "load_engine_mmap",
 ]

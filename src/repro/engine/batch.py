@@ -20,6 +20,15 @@ same pass accumulates the estimate, ``n(Q)`` (number of counts summed,
 partial leaves included, matching :func:`repro.core.query.nodes_touched`) and
 the analytic variance ``Err(Q)`` of Equation (1) — partial leaves contribute
 ``fraction^2 * Var`` like the reference.
+
+The evaluator is **storage-dtype agnostic**: the engine's counts may be
+stored as float32 and its child offsets as int32 (the reduced-precision
+format-v2 layout of :mod:`repro.engine.store`), possibly as read-only
+``np.memmap`` views.  Gathered counts are upcast *per element* and all
+accumulation happens in float64, so narrowing the storage never compounds —
+a float32 engine's answers differ from float64 only by the one-time rounding
+of each stored count, and ``n(Q)``/the decomposition are identical because
+geometry is always float64.
 """
 
 from __future__ import annotations
@@ -226,7 +235,10 @@ def _evaluate_frontier(
         if full.any():
             fq = q_idx[full]
             fn = n_idx[full]
-            estimates += np.bincount(fq, weights=engine.released[fn], minlength=n_queries)
+            # Upcast gathered counts before accumulating: float32 storage
+            # rounds each count once at store time, never during summation.
+            released = engine.released[fn].astype(np.float64, copy=False)
+            estimates += np.bincount(fq, weights=released, minlength=n_queries)
             touched += np.bincount(fq, minlength=n_queries)
             variances += np.bincount(
                 fq, weights=engine.level_variance[engine.level[fn]], minlength=n_queries
@@ -247,8 +259,9 @@ def _evaluate_frontier(
                 pn = pn[ok]
                 fraction = overlap[ok] / node_area[ok]
                 if use_uniformity:
+                    released = engine.released[pn].astype(np.float64, copy=False)
                     estimates += np.bincount(
-                        pq, weights=engine.released[pn] * fraction, minlength=n_queries
+                        pq, weights=released * fraction, minlength=n_queries
                     )
                 touched += np.bincount(pq, minlength=n_queries)
                 variances += np.bincount(

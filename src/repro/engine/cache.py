@@ -18,6 +18,12 @@ same query surface (``range_query`` / ``nodes_touched`` / ``query_variance``
 ``range_query`` hit also pre-warms ``query_variance`` for the same rect.  The
 batch path is cache-aware: hits are served from the store and only the misses
 go through one vectorised evaluation.
+
+The wrapped engine may be a memory-mapped one (format v2, loaded via
+:func:`repro.engine.io.load_engine`): the evaluator reads the mapped arrays
+directly, so cache misses page in only the regions they touch and cache hits
+touch the file not at all — an LRU in front of a mapped engine is how a
+server keeps hot queries fast over a tree larger than RAM.
 """
 
 from __future__ import annotations

@@ -10,6 +10,14 @@ All arrays are read-only (``writeable=False``): a compiled engine is a view of
 a *released* artifact and must never drift from the tree it was compiled from.
 When the tree itself is mutated (post-processing, pruning) the memoised engine
 attached to the PSD is dropped via :func:`invalidate_compiled_engine`.
+
+The container is **dtype-generic**: the compiler always produces the
+canonical dtypes (float64 counts/geometry, int64 child offsets), but the
+arrays may equally be float32 counts with int32 child offsets (the
+reduced-precision storage of :mod:`repro.engine.store`) or read-only
+``np.memmap`` views of a format-v2 file — the batch evaluator accumulates in
+float64 regardless of what dtype the storage arrays carry, and the OS page
+cache, not this object, owns mapped bytes.
 """
 
 from __future__ import annotations
@@ -96,6 +104,10 @@ class FlatPSD:
     domain_lo: np.ndarray = field(default=None)  # type: ignore[assignment]
     domain_hi: np.ndarray = field(default=None)  # type: ignore[assignment]
     domain_name: str = "domain"
+    #: Path of the on-disk engine file this instance was loaded from (set by
+    #: the loaders in :mod:`repro.engine.io` / :mod:`repro.engine.store`);
+    #: ``None`` for engines compiled in RAM.
+    source_path: str = None  # type: ignore[assignment]
 
     # ------------------------------------------------------------------
     @property
@@ -106,12 +118,31 @@ class FlatPSD:
     def dims(self) -> int:
         return int(self.lo.shape[1])
 
+    @property
+    def storage_precision(self) -> str:
+        """``"float32"`` when the released counts are stored narrowed,
+        ``"float64"`` otherwise (the canonical compile output)."""
+        return "float32" if self.released.dtype == np.float32 else "float64"
+
+    def _arrays(self):
+        return (self.lo, self.hi, self.level, self.released, self.has_count,
+                self.is_leaf, self.child_start, self.child_end, self.area,
+                self.count_epsilons, self.level_variance,
+                self.domain_lo, self.domain_hi)
+
     def nbytes(self) -> int:
-        """Memory footprint of the compiled arrays."""
-        arrays = (self.lo, self.hi, self.level, self.released, self.has_count,
-                  self.is_leaf, self.child_start, self.child_end, self.area,
-                  self.count_epsilons, self.level_variance)
-        return int(sum(a.nbytes for a in arrays))
+        """Memory footprint of the compiled arrays (mapped bytes included)."""
+        return int(sum(a.nbytes for a in self._arrays()))
+
+    def mapped_nbytes(self) -> int:
+        """Bytes served from memory-mapped storage rather than process heap.
+
+        Non-zero exactly when the engine was attached from a format-v2 file
+        (:func:`repro.engine.store.load_engine_mmap`); those bytes live in
+        the OS page cache and are shared with every process mapping the
+        same file.
+        """
+        return int(sum(a.nbytes for a in self._arrays() if isinstance(a, np.memmap)))
 
     def validate(self) -> "FlatPSD":
         """Check the structural invariants the batch evaluator relies on.

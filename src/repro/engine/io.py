@@ -1,32 +1,50 @@
-"""``.npz`` persistence for compiled PSD engines.
+"""Persistence for compiled PSD engines: ``.npz`` (v1) and memmap (v2).
 
 The JSON release (:mod:`repro.core.serialization`) is the canonical published
 artifact — human-inspectable, structure-validated, tool-friendly.  But a
 query *server* should not pay JSON parsing plus tree reconstruction plus
-compilation on every start.  This module saves the compiled
-:class:`~repro.engine.flat.FlatPSD` arrays directly to a compressed ``.npz``:
-loading is a handful of ``np.load`` reads straight into the batch evaluator's
-working form.
+compilation on every start.  Two binary formats serve that need:
 
-The payload is still only released information (rects, released counts,
-per-level epsilons) — shipping the ``.npz`` is as privacy-safe as shipping
-the JSON.  Structural invariants are re-validated on load so a truncated or
-hand-edited file fails loudly instead of answering queries wrongly.
+* **format v1** — a compressed ``.npz`` of the compiled
+  :class:`~repro.engine.flat.FlatPSD` arrays.  Small on disk; loading
+  decompresses everything into process RAM and re-validates the structural
+  invariants, so a corrupted file fails loudly.
+* **format v2** — the uncompressed, page-aligned layout of
+  :mod:`repro.engine.store`.  Loading attaches the file with ``np.memmap``
+  in microseconds regardless of size; the OS page cache holds the single
+  physical copy shared by every serving process.  Supports reduced-precision
+  (float32 counts / int32 offsets) storage.
+
+:func:`load_engine` dispatches on the file's magic bytes, not its suffix, so
+``repro query`` serves either format transparently.  The payload of both is
+only released information (rects, released counts, per-level epsilons) —
+shipping an engine file is as privacy-safe as shipping the JSON.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
-from typing import IO, Union
+from typing import IO, Optional, Union
 
 import numpy as np
 
+from ..obs import counter_add, gauge_max, trace_span
 from .flat import FlatPSD, _freeze, level_variances
+from .store import (
+    FORMAT_MAGIC,
+    engine_with_precision,
+    load_engine_mmap,
+    save_engine_mmap,
+)
 
-__all__ = ["save_engine", "load_engine"]
+__all__ = ["save_engine", "load_engine", "detect_engine_format", "ENGINE_FORMATS"]
 
 _FORMAT_VERSION = 1
+
+#: The on-disk formats :func:`save_engine` can write.
+ENGINE_FORMATS = ("npz", "mmap")
 
 # The arrays persisted in the .npz.  `area` and `level_variance` are *not*
 # among them: both are fully derivable (from lo/hi and count_epsilons) and are
@@ -47,12 +65,50 @@ _ARRAY_FIELDS = (
 )
 
 
-def save_engine(engine: FlatPSD, destination: Union[str, Path, IO[bytes]]) -> None:
-    """Write a compiled engine to ``destination`` as a compressed ``.npz``.
+def detect_engine_format(source: Union[str, Path]) -> Optional[str]:
+    """Sniff an engine file's format from its magic bytes.
 
-    Scalar metadata (height, fanout, names) travels as a JSON string under the
-    ``meta`` key; everything else is stored as native arrays.
+    Returns ``"npz"`` (zip magic), ``"mmap"`` (format-v2 magic) or ``None``
+    when the file is neither — e.g. a JSON release — or cannot be read; the
+    caller decides how to proceed (``repro query`` falls back to the JSON
+    loader).
     """
+    try:
+        with open(source, "rb") as handle:
+            head = handle.read(len(FORMAT_MAGIC))
+    except OSError:
+        return None
+    if head == FORMAT_MAGIC:
+        return "mmap"
+    if head[:4] == b"PK\x03\x04":
+        return "npz"
+    return None
+
+
+def save_engine(
+    engine: FlatPSD,
+    destination: Union[str, Path, IO[bytes]],
+    format: str = "npz",
+    precision: str = "float64",
+) -> None:
+    """Write a compiled engine to ``destination``.
+
+    ``format="npz"`` (the default, format v1) writes a compressed archive;
+    scalar metadata (height, fanout, names) travels as a JSON string under
+    the ``meta`` key, everything else as native arrays.  ``format="mmap"``
+    writes the page-aligned format-v2 layout for zero-copy serving (requires
+    a filesystem path).  ``precision`` narrows count storage to float32 /
+    int32 offsets before writing (see
+    :func:`repro.engine.store.engine_with_precision`).
+    """
+    if format not in ENGINE_FORMATS:
+        raise ValueError(f"unknown engine format {format!r} (choose from {ENGINE_FORMATS})")
+    if format == "mmap":
+        if not isinstance(destination, (str, Path)):
+            raise ValueError("format='mmap' requires a filesystem path destination")
+        save_engine_mmap(engine, destination, precision=precision)
+        return
+    engine = engine_with_precision(engine, precision)
     meta = {
         "format_version": _FORMAT_VERSION,
         "height": engine.height,
@@ -70,13 +126,16 @@ def save_engine(engine: FlatPSD, destination: Union[str, Path, IO[bytes]]) -> No
     np.savez_compressed(destination, meta=np.array(json.dumps(meta)), **arrays)
 
 
-def load_engine(source: Union[str, Path, IO[bytes]]) -> FlatPSD:
-    """Load a compiled engine previously written by :func:`save_engine`.
-
-    Raises :class:`ValueError` on unknown format versions, missing arrays or
-    structural-invariant violations (via :meth:`FlatPSD.validate`).
-    """
-    with np.load(source, allow_pickle=False) as payload:
+def _load_engine_npz(source: Union[str, Path, IO[bytes]]) -> FlatPSD:
+    """The format-v1 loader: decompress, recompute derived arrays, validate."""
+    try:
+        payload_ctx = np.load(source, allow_pickle=False)
+    except (zipfile.BadZipFile, OSError, EOFError) as exc:
+        raise ValueError(
+            f"cannot read compiled engine {source!r}: {exc} "
+            "(file truncated or not an engine .npz?)"
+        )
+    with payload_ctx as payload:
         if "meta" not in payload:
             raise ValueError("not a compiled-engine file: missing 'meta' entry")
         meta = json.loads(str(payload["meta"]))
@@ -86,7 +145,14 @@ def load_engine(source: Union[str, Path, IO[bytes]]) -> FlatPSD:
         missing = [name for name in _ARRAY_FIELDS if name not in payload]
         if missing:
             raise ValueError(f"engine file is missing arrays: {missing}")
-        arrays = {name: np.asarray(payload[name]) for name in _ARRAY_FIELDS}
+        arrays = {}
+        for name in _ARRAY_FIELDS:
+            # NpzFile decompresses members lazily, so a member cut short by a
+            # truncated file surfaces here — attribute it to its field.
+            try:
+                arrays[name] = np.asarray(payload[name])
+            except Exception as exc:
+                raise ValueError(f"array field {name!r} is truncated or corrupt: {exc}")
     # The derivable arrays are recomputed, never read from the file.
     arrays["level_variance"] = level_variances(arrays["count_epsilons"])
     if arrays["lo"].ndim != 2 or arrays["lo"].shape != arrays["hi"].shape:
@@ -98,6 +164,42 @@ def load_engine(source: Union[str, Path, IO[bytes]]) -> FlatPSD:
         fanout=int(meta["fanout"]),
         name=str(meta.get("name", "psd")),
         domain_name=str(meta.get("domain_name", "domain")),
+        source_path=str(source) if isinstance(source, (str, Path)) else None,
         **arrays,
     )
     return engine.validate()
+
+
+def load_engine(
+    source: Union[str, Path, IO[bytes]], deep_validate: Optional[bool] = None
+) -> FlatPSD:
+    """Load a compiled engine, dispatching on the file's magic bytes.
+
+    ``.npz`` files (format v1) are decompressed into RAM and fully
+    re-validated.  Format-v2 files are attached zero-copy as read-only
+    ``np.memmap`` views after header/bounds validation only — pass
+    ``deep_validate=True`` to additionally run the O(n) structural checks
+    (which pages the whole file in, forfeiting the fast attach).
+    File-like sources are supported for ``.npz`` only.
+
+    Raises :class:`ValueError` on unknown formats/versions, missing or
+    truncated arrays (reported by field name) or structural-invariant
+    violations (via :meth:`FlatPSD.validate`).
+    """
+    fmt = "npz"
+    if isinstance(source, (str, Path)):
+        detected = detect_engine_format(source)
+        if detected is not None:
+            fmt = detected
+    with trace_span("engine.load", format=fmt):
+        if fmt == "mmap":
+            engine = load_engine_mmap(source, deep_validate=bool(deep_validate))
+        else:
+            engine = _load_engine_npz(source)
+            if deep_validate:  # already validated, but honour an explicit ask
+                engine.validate()
+    counter_add("engine.loads", format=fmt)
+    mapped = engine.mapped_nbytes()
+    if mapped:
+        gauge_max("engine.bytes_mapped", mapped)
+    return engine

@@ -1,0 +1,323 @@
+"""FlatPSD format v2: a zero-copy, memory-mapped on-disk engine layout.
+
+The ``.npz`` format (:mod:`repro.engine.io`, format v1) must be fully
+decompressed and deserialised before the first query — startup cost and
+resident memory both scale with engine size.  Format v2 trades compression
+for **addressability**: every :class:`~repro.engine.flat.FlatPSD` array is
+written uncompressed at a page-aligned offset, so a loader attaches the file
+with ``np.memmap`` and the batch evaluator runs directly over the mapped
+(read-only) pages.  Opening an engine becomes a header parse plus a handful
+of ``mmap`` calls — microseconds regardless of node count — and the OS page
+cache, not process heaps, holds the one physical copy that every serving
+process shares.
+
+File layout::
+
+    bytes 0..7    magic  b"FLATPSD2"
+    bytes 8..15   little-endian uint64: header length H
+    bytes 16..16+H JSON header:
+        meta    {format_version: 2, precision, height, fanout, name, domain_name}
+        arrays  {field: {dtype, shape, offset, nbytes}}  (absolute offsets)
+    ...zero padding...
+    page-aligned array regions, one per FlatPSD field, in _V2_FIELDS order
+
+Precision contract
+------------------
+``precision="float64"`` stores every array in the engine's canonical dtypes;
+a memmapped float64 engine answers **bitwise identically** to the same engine
+loaded from ``.npz`` (same values in, same float ops out).
+``precision="float32"`` narrows the *count* payload only — ``released`` and
+``count_epsilons`` to float32, ``child_start``/``child_end`` to int32 — while
+all geometry (``lo``/``hi``/``area``/domain bounds) stays float64.  The
+query-to-node decomposition (which nodes are full/partial, every uniformity
+fraction, ``n(Q)``) is therefore *identical* across precisions; only the
+count values are rounded once at store time, and the evaluator still
+accumulates in float64 (see :mod:`repro.engine.batch`).  The added error is
+bounded by per-count float32 rounding and, for Laplace-noised releases at
+realistic epsilons, sits far below the noise floor — measured and gated by
+``benchmarks/bench_memmap.py``.
+
+Loading validates the header, the field table and region bounds (a missing
+or truncated field is reported *by name*); the O(n) structural validation of
+:meth:`FlatPSD.validate` is opt-in (``deep_validate=True``) so attach stays
+sub-millisecond.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from ..obs import counter_add, trace_span
+from .flat import FlatPSD, _freeze, level_variances
+
+__all__ = [
+    "FORMAT_MAGIC",
+    "PAGE_SIZE",
+    "PRECISIONS",
+    "engine_with_precision",
+    "save_engine_mmap",
+    "load_engine_mmap",
+]
+
+#: Leading magic bytes of a format-v2 engine file.
+FORMAT_MAGIC = b"FLATPSD2"
+
+_FORMAT_VERSION = 2
+
+#: Array regions start at multiples of this (a memory page), so mapped views
+#: share pages cleanly across processes and never straddle the header.
+PAGE_SIZE = 4096
+
+#: Every FlatPSD array persisted in a v2 file, in on-disk order.  Unlike the
+#: ``.npz`` format, the derived arrays (``area``, ``level_variance``) are
+#: stored too: a v2 load must be a pure attach with no O(n) recomputation.
+_V2_FIELDS = (
+    "lo",
+    "hi",
+    "level",
+    "released",
+    "has_count",
+    "is_leaf",
+    "child_start",
+    "child_end",
+    "area",
+    "count_epsilons",
+    "level_variance",
+    "domain_lo",
+    "domain_hi",
+)
+
+#: On-disk dtype of every field, per precision.  Geometry is always float64;
+#: float32 narrows only counts/epsilons (and node indices to int32).
+_FIELD_DTYPES: Dict[str, Dict[str, str]] = {
+    "float64": {
+        "lo": "<f8", "hi": "<f8", "level": "<i4", "released": "<f8",
+        "has_count": "|b1", "is_leaf": "|b1", "child_start": "<i8",
+        "child_end": "<i8", "area": "<f8", "count_epsilons": "<f8",
+        "level_variance": "<f8", "domain_lo": "<f8", "domain_hi": "<f8",
+    },
+    "float32": {
+        "lo": "<f8", "hi": "<f8", "level": "<i4", "released": "<f4",
+        "has_count": "|b1", "is_leaf": "|b1", "child_start": "<i4",
+        "child_end": "<i4", "area": "<f8", "count_epsilons": "<f4",
+        "level_variance": "<f8", "domain_lo": "<f8", "domain_hi": "<f8",
+    },
+}
+
+PRECISIONS = tuple(sorted(_FIELD_DTYPES))
+
+
+def _align(n: int) -> int:
+    return -(-n // PAGE_SIZE) * PAGE_SIZE
+
+
+def engine_with_precision(engine: FlatPSD, precision: str) -> FlatPSD:
+    """The same engine with its storage arrays cast to ``precision``.
+
+    ``float32`` rounds ``released``/``count_epsilons`` to float32 and narrows
+    ``child_start``/``child_end`` to int32 (``level_variance`` is recomputed
+    from the *rounded* epsilons, so a loader deriving it from the stored file
+    agrees bitwise); geometry stays float64 so the canonical decomposition of
+    every query — and with it ``n(Q)`` — is unchanged.  ``float64`` upcasts
+    back to the canonical dtypes.  Returns ``engine`` itself when nothing
+    needs casting.
+    """
+    if precision not in _FIELD_DTYPES:
+        raise ValueError(f"unknown precision {precision!r} (choose from {PRECISIONS})")
+    if precision == engine.storage_precision and (
+        engine.child_start.dtype == np.dtype(_FIELD_DTYPES[precision]["child_start"])
+    ):
+        return engine
+    if precision == "float32" and engine.n_nodes > np.iinfo(np.int32).max:
+        raise ValueError(
+            f"engine has {engine.n_nodes} nodes; int32 child offsets cap "
+            f"float32 storage at {np.iinfo(np.int32).max}"
+        )
+    spec = _FIELD_DTYPES[precision]
+    eps = np.asarray(engine.count_epsilons, dtype=np.dtype(spec["count_epsilons"]))
+    return replace(
+        engine,
+        released=_freeze(np.asarray(engine.released, dtype=np.dtype(spec["released"]))),
+        count_epsilons=_freeze(eps),
+        level_variance=_freeze(level_variances(eps)),
+        child_start=_freeze(np.asarray(engine.child_start, dtype=np.dtype(spec["child_start"]))),
+        child_end=_freeze(np.asarray(engine.child_end, dtype=np.dtype(spec["child_end"]))),
+        source_path=None,
+    )
+
+
+def save_engine_mmap(
+    engine: FlatPSD, destination: Union[str, Path], precision: str = "float64"
+) -> None:
+    """Write ``engine`` to ``destination`` in the format-v2 binary layout.
+
+    Every array lands uncompressed at a page-aligned offset recorded in the
+    JSON header, ready for :func:`load_engine_mmap` to attach with
+    ``np.memmap``.  ``precision`` selects the storage dtypes (see
+    :func:`engine_with_precision`); the payload is still only released
+    information, exactly like the ``.npz`` format.
+    """
+    engine = engine_with_precision(engine, precision)
+    spec = _FIELD_DTYPES[precision]
+    arrays = {}
+    for name in _V2_FIELDS:
+        arr = np.ascontiguousarray(np.asarray(getattr(engine, name), dtype=np.dtype(spec[name])))
+        arrays[name] = arr
+
+    # Page-aligned offsets relative to the data region; the data region start
+    # itself grows in page steps until the header (whose serialised length
+    # depends on the absolute offsets) fits in front of it.
+    rel = {}
+    total = 0
+    for name, arr in arrays.items():
+        rel[name] = total
+        total += _align(max(1, arr.nbytes))
+    data_start = PAGE_SIZE
+    while True:
+        table = {
+            name: {
+                "dtype": arrays[name].dtype.str,
+                "shape": list(arrays[name].shape),
+                "offset": data_start + rel[name],
+                "nbytes": int(arrays[name].nbytes),
+            }
+            for name in _V2_FIELDS
+        }
+        meta = {
+            "format_version": _FORMAT_VERSION,
+            "precision": precision,
+            "height": engine.height,
+            "fanout": engine.fanout,
+            "name": engine.name,
+            "domain_name": engine.domain_name,
+        }
+        header = json.dumps({"meta": meta, "arrays": table}, sort_keys=True).encode("utf-8")
+        if len(FORMAT_MAGIC) + 8 + len(header) <= data_start:
+            break
+        data_start += PAGE_SIZE
+
+    with open(destination, "wb") as handle:
+        handle.write(FORMAT_MAGIC)
+        handle.write(struct.pack("<Q", len(header)))
+        handle.write(header)
+        for name in _V2_FIELDS:
+            handle.seek(data_start + rel[name])
+            handle.write(arrays[name].tobytes(order="C"))
+        # Extend the file to the last aligned slot so every region, including
+        # a trailing one shorter than its slot, maps within bounds.
+        handle.truncate(data_start + total)
+
+
+def _parse_header(path: Path, size: int):
+    with open(path, "rb") as handle:
+        magic = handle.read(len(FORMAT_MAGIC))
+        if magic != FORMAT_MAGIC:
+            raise ValueError(f"{path}: not a FlatPSD v2 engine file (bad magic)")
+        raw_len = handle.read(8)
+        if len(raw_len) != 8:
+            raise ValueError(f"{path}: truncated before the header length field")
+        (header_len,) = struct.unpack("<Q", raw_len)
+        if 16 + header_len > size:
+            raise ValueError(
+                f"{path}: truncated header (needs {16 + header_len} bytes, "
+                f"file has {size})"
+            )
+        try:
+            header = json.loads(handle.read(header_len).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"{path}: corrupt v2 header: {exc}")
+    return header
+
+
+def load_engine_mmap(source: Union[str, Path], deep_validate: bool = False) -> FlatPSD:
+    """Attach a format-v2 engine file as memory-mapped read-only arrays.
+
+    Zero-copy: no array bytes are read eagerly — the returned engine's fields
+    are ``np.memmap`` views paged in on demand and shared with every other
+    process mapping the same file.  Header integrity, field presence, dtype
+    agreement with the declared precision and region bounds are always
+    checked (a missing or truncated array is reported by name);
+    ``deep_validate=True`` additionally runs the O(n) structural checks of
+    :meth:`FlatPSD.validate`.
+    """
+    path = Path(source)
+    with trace_span("engine.attach_mmap"):
+        size = path.stat().st_size
+        header = _parse_header(path, size)
+        meta = header.get("meta") or {}
+        version = meta.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported engine format version {version!r} (expected 2)")
+        precision = meta.get("precision")
+        if precision not in _FIELD_DTYPES:
+            raise ValueError(f"{path}: unknown storage precision {precision!r}")
+        spec = _FIELD_DTYPES[precision]
+        table = header.get("arrays") or {}
+
+        views: Dict[str, np.ndarray] = {}
+        for name in _V2_FIELDS:
+            entry = table.get(name)
+            if entry is None:
+                raise ValueError(f"{path}: engine file is missing array field {name!r}")
+            dtype = np.dtype(str(entry["dtype"]))
+            shape = tuple(int(v) for v in entry["shape"])
+            offset = int(entry["offset"])
+            nbytes = int(entry["nbytes"])
+            if dtype != np.dtype(spec[name]):
+                raise ValueError(
+                    f"{path}: field {name!r} stored as {dtype.str}, but precision "
+                    f"{precision!r} requires {spec[name]}"
+                )
+            expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+            if nbytes != expected:
+                raise ValueError(
+                    f"{path}: field {name!r} advertises {nbytes} bytes but its "
+                    f"shape {shape} needs {expected}"
+                )
+            if offset < 0 or offset + nbytes > size:
+                raise ValueError(
+                    f"{path}: field {name!r} is truncated: bytes "
+                    f"[{offset}, {offset + nbytes}) exceed the {size}-byte file"
+                )
+            if nbytes == 0:
+                views[name] = _freeze(np.empty(shape, dtype=dtype))
+            else:
+                # mode="r" views are read-only; each field maps the same file,
+                # so the page cache holds one physical copy system-wide.
+                views[name] = np.memmap(path, dtype=dtype, mode="r",
+                                        offset=offset, shape=shape)
+
+        # Cheap (O(1)-per-field) shape consistency so the evaluator can trust
+        # the arrays without paging anything in.
+        if views["lo"].ndim != 2 or views["lo"].shape != views["hi"].shape:
+            raise ValueError(f"{path}: lo/hi must be matching (n_nodes, dims) arrays")
+        n = views["lo"].shape[0]
+        for name in ("level", "released", "has_count", "is_leaf",
+                     "child_start", "child_end", "area"):
+            if views[name].shape != (n,):
+                raise ValueError(f"{path}: field {name!r} must have shape ({n},)")
+        height = int(meta.get("height", -1))
+        for name in ("count_epsilons", "level_variance"):
+            if views[name].shape != (height + 1,):
+                raise ValueError(
+                    f"{path}: field {name!r} must have height + 1 = {height + 1} entries"
+                )
+
+        engine = FlatPSD(
+            height=height,
+            fanout=int(meta.get("fanout", 0)),
+            name=str(meta.get("name", "psd")),
+            domain_name=str(meta.get("domain_name", "domain")),
+            source_path=str(path),
+            **views,
+        )
+    counter_add("engine.mmap_attaches")
+    if deep_validate:
+        engine.validate()
+    return engine

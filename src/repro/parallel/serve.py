@@ -15,6 +15,14 @@ same way: :meth:`ShardedQueryServer.matrix_dot` ships the CSR buffers once
 and splits the release axis across the pool — the serving analogue of the
 sweep pipeline's ``S @ counts`` product.
 
+A *memory-mapped* engine (format v2, :mod:`repro.engine.store`) needs no
+shared-memory export at all: its arrays pickle as
+:class:`~repro.parallel.shm.MappedArrayHandle` file references, so every
+worker re-maps the same engine file and the OS page cache holds the single
+physical copy.  Serving a mapped engine to N workers therefore costs N tiny
+mmap calls, not N (or even 1) array copies — check
+``stats()["engine_mapped_bytes"]`` to confirm the zero-copy path is active.
+
 The server composes with the LRU answer cache: pass
 ``CachedEngine(server.engine, evaluator=server.batch_query)`` so hits are
 answered from the (thread-safe) cache and only misses fan out.
@@ -267,6 +275,7 @@ class ShardedQueryServer:
         out["workers"] = self.workers
         out["shm_bytes_exported"] = int(self._arena.nbytes())
         out["shm_segments"] = int(self._arena.n_segments)
+        out["engine_mapped_bytes"] = int(self.engine.mapped_nbytes())
         return out
 
     # ------------------------------------------------------------------

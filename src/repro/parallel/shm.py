@@ -22,6 +22,16 @@ The parent owns the segments through the :class:`SharedArena` and unlinks
 them once the worker pool has shut down; attached views are marked
 non-writeable because everything shared this way is released, immutable
 data — a worker must never be able to mutate another worker's inputs.
+
+Arrays that are already file-backed need no segment at all.  A read-only
+``np.memmap`` (a format-v2 engine attached by :mod:`repro.engine.store`)
+pickles as a :class:`MappedArrayHandle` — just the file path, offset, dtype
+and shape — and every worker re-maps the same file region.  The OS page
+cache is then the sharing mechanism: one physical copy of the engine's pages
+serves the parent and all workers, with zero export copies and zero shared
+segments.  File-backed diversion is checked *before* the size threshold, so
+even small mapped arrays travel as handles (re-mapping is cheaper than
+copying, and it keeps every worker on the same pages).
 """
 
 from __future__ import annotations
@@ -39,8 +49,11 @@ from ..obs import counter_add
 __all__ = [
     "SHARE_THRESHOLD_BYTES",
     "SharedArrayHandle",
+    "MappedArrayHandle",
     "SharedArena",
     "attach_array",
+    "attach_mapped",
+    "mapped_handle",
     "detach_all",
     "dumps_shared",
     "loads_shared",
@@ -59,6 +72,50 @@ class SharedArrayHandle:
     shm_name: str
     shape: Tuple[int, ...]
     dtype: str
+
+
+@dataclass(frozen=True)
+class MappedArrayHandle:
+    """A picklable pointer to one file-backed array region.
+
+    Carries everything ``np.memmap`` needs to re-attach the same bytes of the
+    same file: path, byte offset, dtype and shape.  No shared-memory segment
+    is involved — the receiving process maps the file read-only and the OS
+    page cache deduplicates the physical pages across all attachers.
+    """
+
+    path: str
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+def mapped_handle(array: np.ndarray) -> "MappedArrayHandle | None":
+    """The :class:`MappedArrayHandle` for ``array``, or None when ineligible.
+
+    Eligible arrays are C-contiguous read-only ``np.memmap`` instances
+    created directly by the ``np.memmap`` constructor.  Views *derived* from
+    a memmap (slices, reshapes) are rejected: they inherit the ``offset``
+    attribute of their parent without adjustment, so a handle built from one
+    would map the wrong bytes.  Constructor-created memmaps are recognised by
+    their ``base`` being the underlying ``mmap.mmap`` object rather than
+    another ndarray.
+    """
+    if not isinstance(array, np.memmap):
+        return None
+    if isinstance(array.base, np.ndarray):
+        return None  # a sliced/reshaped view; its .offset is the parent's
+    filename = getattr(array, "filename", None)
+    if not filename:
+        return None
+    if not array.flags["C_CONTIGUOUS"] or array.flags.writeable:
+        return None
+    return MappedArrayHandle(
+        path=str(filename),
+        offset=int(array.offset),
+        shape=tuple(array.shape),
+        dtype=array.dtype.str,
+    )
 
 
 class SharedArena:
@@ -179,6 +236,31 @@ def attach_array(handle: SharedArrayHandle) -> np.ndarray:
     return view
 
 
+#: Per-process cache of re-attached file mappings, keyed by the full handle.
+#: Caching keeps repeated unpickles of the same engine (one per task batch)
+#: from opening a fresh file descriptor and mapping each time.
+_MAPPED: Dict[Tuple[str, int, Tuple[int, ...], str], np.ndarray] = {}
+
+
+def attach_mapped(handle: MappedArrayHandle) -> np.ndarray:
+    """A read-only ``np.memmap`` view of a file-backed array, cached per process."""
+    key = (handle.path, handle.offset, handle.shape, handle.dtype)
+    cached = _MAPPED.get(key)
+    if cached is not None:
+        return cached
+    view = np.memmap(
+        handle.path,
+        dtype=np.dtype(handle.dtype),
+        mode="r",
+        offset=handle.offset,
+        shape=handle.shape,
+    )
+    _MAPPED[key] = view
+    counter_add("shm.segments_mapped")
+    counter_add("shm.bytes_mapped", view.nbytes)
+    return view
+
+
 def detach_all() -> None:
     """Drop this process's attached views and close their mappings.
 
@@ -192,6 +274,7 @@ def detach_all() -> None:
         except BufferError:  # a view is still alive; leave the mapping open
             pass
     _ATTACHED.clear()
+    _MAPPED.clear()
 
 
 # ----------------------------------------------------------------------
@@ -205,12 +288,15 @@ class _SharingPickler(pickle.Pickler):
         self._arena = arena
 
     def persistent_id(self, obj):
-        if (
-            isinstance(obj, np.ndarray)
-            and not obj.dtype.hasobject
-            and obj.nbytes >= self._arena.threshold
-        ):
-            return self._arena.export(obj)
+        if isinstance(obj, np.ndarray) and not obj.dtype.hasobject:
+            # File-backed arrays ship as path references regardless of size:
+            # re-mapping the file is strictly cheaper than copying it into a
+            # segment, and keeps every process on the same physical pages.
+            mapped = mapped_handle(obj)
+            if mapped is not None:
+                return mapped
+            if obj.nbytes >= self._arena.threshold:
+                return self._arena.export(obj)
         return None
 
 
@@ -220,6 +306,8 @@ class _AttachingUnpickler(pickle.Unpickler):
     def persistent_load(self, pid):
         if isinstance(pid, SharedArrayHandle):
             return attach_array(pid)
+        if isinstance(pid, MappedArrayHandle):
+            return attach_mapped(pid)
         raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
 
 

@@ -327,6 +327,43 @@ class TestEngineIO:
         with pytest.raises(ValueError, match="meta"):
             load_engine(path)
 
+    def test_load_reports_truncated_file(self, points, domain, tmp_path):
+        # A partially-copied artifact must fail with a message that says
+        # "truncated", not a bare zipfile traceback.
+        engine = compile_psd(_build("quad-opt", points, domain))
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path)
+        blob = path.read_bytes()
+        truncated = tmp_path / "truncated.npz"
+        truncated.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(ValueError, match="truncated"):
+            load_engine(truncated)
+
+    def test_load_reports_missing_array_field_by_name(self, points, domain, tmp_path):
+        engine = compile_psd(_build("quad-opt", points, domain))
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path)
+        with np.load(path, allow_pickle=False) as payload:
+            arrays = dict(payload)
+        del arrays["released"]
+        bad = tmp_path / "missing.npz"
+        np.savez(bad, **arrays)
+        with pytest.raises(ValueError, match=r"missing arrays.*released"):
+            load_engine(bad)
+
+    def test_load_rejects_mismatched_format_version(self, points, domain, tmp_path):
+        engine = compile_psd(_build("quad-opt", points, domain))
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path)
+        with np.load(path, allow_pickle=False) as payload:
+            arrays = dict(payload)
+        meta = dict(json.loads(str(arrays.pop("meta"))))
+        meta["format_version"] = 99
+        bad = tmp_path / "future.npz"
+        np.savez(bad, meta=np.array(json.dumps(meta)), **arrays)
+        with pytest.raises(ValueError, match="format version"):
+            load_engine(bad)
+
     def test_load_rejects_corrupted_structure(self, points, domain, tmp_path):
         engine = compile_psd(_build("quad-opt", points, domain))
         path = tmp_path / "engine.npz"

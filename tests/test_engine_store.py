@@ -1,0 +1,400 @@
+"""Tests for the zero-copy format-v2 engine store (:mod:`repro.engine.store`).
+
+The load-bearing contracts:
+
+* **bitwise parity** — a float64 engine attached via ``np.memmap`` must
+  answer every query (estimates, ``n(Q)``, variances) bitwise identically to
+  the in-RAM engine it was saved from, across all three PSD families, the
+  empty workload and the whole-domain query;
+* **precision contract** — float32 storage never moves the query
+  decomposition (``n(Q)`` identical; geometry stays float64) and its added
+  estimate error stays below the per-leaf Laplace standard deviation;
+* **validation** — a missing, truncated or wrongly-versioned file fails
+  loudly, naming the offending field;
+* **zero-copy serving** — a mapped engine pickles as file references (no
+  shared-memory segments), and :class:`ShardedQueryServer` workers re-map
+  the same file with bitwise-identical sharded answers.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import (
+    build_private_hilbert_rtree,
+    build_private_kdtree,
+    build_private_quadtree,
+)
+from repro.data import uniform_points
+from repro.engine import (
+    CachedEngine,
+    FlatPSD,
+    batch_query,
+    compile_psd,
+    detect_engine_format,
+    engine_with_precision,
+    load_engine,
+    save_engine,
+)
+from repro.engine.store import load_engine_mmap, save_engine_mmap
+from repro.geometry import Domain, Rect
+from repro.privacy.mechanisms import laplace_variance
+from repro.queries import random_query_rects
+
+
+# ----------------------------------------------------------------------
+# Shared builders (same families as test_engine_flat)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def domain():
+    return Domain.unit(2)
+
+
+@pytest.fixture(scope="module")
+def points(domain):
+    return uniform_points(3_000, domain, rng=np.random.default_rng(17))
+
+
+def _build(variant: str, points, domain, seed: int = 0):
+    if variant == "quad-opt":
+        return build_private_quadtree(points, domain, height=4, epsilon=1.0,
+                                      variant="quad-opt", rng=seed)
+    if variant == "kd-hybrid":
+        return build_private_kdtree(points, domain, height=4, epsilon=1.0,
+                                    variant="kd-hybrid", rng=seed)
+    if variant == "hilbert-r":
+        return build_private_hilbert_rtree(points, domain, height=6, epsilon=1.0,
+                                           rng=seed).psd
+    raise AssertionError(variant)
+
+
+VARIANTS = ("quad-opt", "kd-hybrid", "hilbert-r")
+
+
+def _queries(psd, n=80, seed=47):
+    whole = Rect(psd.domain.rect.lo, psd.domain.rect.hi)
+    return [whole] + random_query_rects(psd.domain, n, rng=np.random.default_rng(seed),
+                                        min_frac=0.005, max_frac=0.5)
+
+
+def _assert_bitwise(a, b):
+    assert np.array_equal(a.estimates, b.estimates)
+    assert np.array_equal(a.nodes_touched, b.nodes_touched)
+    assert np.array_equal(a.variances, b.variances)
+
+
+# ----------------------------------------------------------------------
+# Bitwise parity: mapped float64 vs in-RAM, all families
+# ----------------------------------------------------------------------
+class TestMemmapParity:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_float64_mapped_answers_bitwise_equal(self, variant, points, domain, tmp_path):
+        psd = _build(variant, points, domain, seed=23)
+        engine = compile_psd(psd)
+        path = tmp_path / "engine.psdm"
+        save_engine(engine, path, format="mmap")
+        mapped = load_engine(path)
+        assert mapped.mapped_nbytes() > 0
+        assert mapped.source_path == str(path)
+        assert mapped.storage_precision == "float64"
+        queries = _queries(psd)
+        _assert_bitwise(batch_query(engine, queries), batch_query(mapped, queries))
+
+    def test_empty_workload(self, points, domain, tmp_path):
+        engine = compile_psd(_build("quad-opt", points, domain))
+        path = tmp_path / "engine.psdm"
+        save_engine(engine, path, format="mmap")
+        mapped = load_engine(path)
+        result = batch_query(mapped, [])
+        assert result.estimates.shape == (0,)
+        assert result.nodes_touched.shape == (0,)
+
+    def test_deep_validate_passes_on_mapped_engine(self, points, domain, tmp_path):
+        engine = compile_psd(_build("quad-opt", points, domain))
+        path = tmp_path / "engine.psdm"
+        save_engine(engine, path, format="mmap")
+        assert isinstance(load_engine(path, deep_validate=True), FlatPSD)
+
+    def test_mapped_arrays_are_readonly(self, points, domain, tmp_path):
+        engine = compile_psd(_build("quad-opt", points, domain))
+        path = tmp_path / "engine.psdm"
+        save_engine(engine, path, format="mmap")
+        mapped = load_engine(path)
+        with pytest.raises(ValueError):
+            mapped.released[0] = 1.0
+
+    def test_format_detection(self, points, domain, tmp_path):
+        engine = compile_psd(_build("quad-opt", points, domain))
+        npz, mm, other = tmp_path / "e.npz", tmp_path / "e.psdm", tmp_path / "e.json"
+        save_engine(engine, npz)
+        save_engine(engine, mm, format="mmap")
+        other.write_text("{}")
+        assert detect_engine_format(npz) == "npz"
+        assert detect_engine_format(mm) == "mmap"
+        assert detect_engine_format(other) is None
+        assert detect_engine_format(tmp_path / "absent") is None
+
+    def test_unknown_format_rejected(self, points, domain, tmp_path):
+        engine = compile_psd(_build("quad-opt", points, domain))
+        with pytest.raises(ValueError, match="unknown engine format"):
+            save_engine(engine, tmp_path / "e.bin", format="flatbuffer")
+
+
+# ----------------------------------------------------------------------
+# The float32 precision contract
+# ----------------------------------------------------------------------
+class TestFloat32Precision:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_decomposition_unchanged_and_error_below_noise_floor(
+        self, variant, points, domain, tmp_path
+    ):
+        psd = _build(variant, points, domain, seed=29)
+        engine = compile_psd(psd)
+        path = tmp_path / "engine32.psdm"
+        save_engine(engine, path, format="mmap", precision="float32")
+        mapped = load_engine(path)
+        assert mapped.storage_precision == "float32"
+        assert mapped.child_start.dtype == np.int32
+        queries = _queries(psd)
+        r64, r32 = batch_query(engine, queries), batch_query(mapped, queries)
+        # Geometry stays float64, so the decomposition cannot move.
+        assert np.array_equal(r64.nodes_touched, r32.nodes_touched)
+        # The per-leaf Laplace sd is the natural noise floor of the release:
+        # storage rounding far below it cannot change any conclusion.
+        leaf_sd = np.sqrt(laplace_variance(float(np.min(
+            engine.count_epsilons[engine.count_epsilons > 0]))))
+        assert np.max(np.abs(r64.estimates - r32.estimates)) < leaf_sd
+
+    def test_float32_file_roundtrip_is_bitwise_stable(self, points, domain, tmp_path):
+        # Saving the narrowed engine and mapping it back must reproduce the
+        # in-RAM float32 cast exactly: rounding happens once, at cast time.
+        engine = compile_psd(_build("quad-opt", points, domain))
+        narrowed = engine_with_precision(engine, "float32")
+        path = tmp_path / "engine32.psdm"
+        save_engine(engine, path, format="mmap", precision="float32")
+        mapped = load_engine(path)
+        queries = _queries(_build("quad-opt", points, domain))
+        _assert_bitwise(batch_query(narrowed, queries), batch_query(mapped, queries))
+
+    def test_cast_is_idempotent_and_reversible_in_dtype(self, points, domain):
+        engine = compile_psd(_build("quad-opt", points, domain))
+        narrowed = engine_with_precision(engine, "float32")
+        assert engine_with_precision(narrowed, "float32") is narrowed
+        assert engine_with_precision(engine, "float64") is engine
+        widened = engine_with_precision(narrowed, "float64")
+        assert widened.released.dtype == np.float64
+        assert widened.child_start.dtype == np.int64
+        # Widening is exact (float32 -> float64 is an embedding).
+        assert np.array_equal(widened.released,
+                              narrowed.released.astype(np.float64))
+
+    def test_unknown_precision_rejected(self, points, domain):
+        engine = compile_psd(_build("quad-opt", points, domain))
+        with pytest.raises(ValueError, match="unknown precision"):
+            engine_with_precision(engine, "float16")
+
+
+# ----------------------------------------------------------------------
+# Validation of the v2 file format
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def v2_file(points, domain, tmp_path):
+    engine = compile_psd(_build("quad-opt", points, domain))
+    path = tmp_path / "engine.psdm"
+    save_engine_mmap(engine, path)
+    return path
+
+
+class TestV2Validation:
+    def test_bad_magic(self, v2_file):
+        blob = bytearray(v2_file.read_bytes())
+        blob[:8] = b"NOTMAGIC"
+        v2_file.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="bad magic"):
+            load_engine_mmap(v2_file)
+
+    def test_truncated_header(self, v2_file):
+        v2_file.write_bytes(v2_file.read_bytes()[:12])
+        with pytest.raises(ValueError, match="truncated"):
+            load_engine_mmap(v2_file)
+
+    def test_truncated_array_region_names_the_field(self, v2_file):
+        # Chop the file mid-data: the *last* stored field's region now falls
+        # outside the file and the error must say which field.
+        blob = v2_file.read_bytes()
+        header_len = struct.unpack("<Q", blob[8:16])[0]
+        header = json.loads(blob[16:16 + header_len].decode())
+        last = max(header["arrays"], key=lambda k: header["arrays"][k]["offset"])
+        cut = header["arrays"][last]["offset"] + 1
+        v2_file.write_bytes(blob[:cut])
+        with pytest.raises(ValueError, match=rf"{last}.*truncated|truncated.*{last}"):
+            load_engine_mmap(v2_file)
+
+    def test_missing_field_named(self, v2_file):
+        blob = v2_file.read_bytes()
+        header_len = struct.unpack("<Q", blob[8:16])[0]
+        header = json.loads(blob[16:16 + header_len].decode())
+        del header["arrays"]["released"]
+        # Re-encode padded to the original length so offsets stay valid.
+        packed = json.dumps(header).encode()
+        assert len(packed) <= header_len
+        packed += b" " * (header_len - len(packed))
+        v2_file.write_bytes(blob[:16] + packed + blob[16 + header_len:])
+        with pytest.raises(ValueError, match="missing array field 'released'"):
+            load_engine_mmap(v2_file)
+
+    def test_format_version_mismatch(self, v2_file):
+        blob = v2_file.read_bytes()
+        # Same-length byte substitution keeps the header length field valid.
+        assert b'"format_version": 2' in blob
+        v2_file.write_bytes(blob.replace(b'"format_version": 2',
+                                         b'"format_version": 9', 1))
+        with pytest.raises(ValueError, match="format version 9"):
+            load_engine_mmap(v2_file)
+
+    def test_corrupt_header_json(self, v2_file):
+        blob = bytearray(v2_file.read_bytes())
+        blob[16] = ord("!")  # breaks the leading '{'
+        v2_file.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="corrupt v2 header"):
+            load_engine_mmap(v2_file)
+
+    def test_int32_overflow_guard_message(self, points, domain):
+        engine = compile_psd(_build("quad-opt", points, domain))
+        big = int(np.iinfo(np.int32).max) + 1
+        # Fake the node count without allocating 2^31 rows.
+        class _Huge(FlatPSD):
+            @property
+            def n_nodes(self):  # noqa: D401 - test shim
+                return big
+        huge = _Huge(**{f: getattr(engine, f) for f in (
+            "lo", "hi", "level", "released", "has_count", "is_leaf",
+            "child_start", "child_end", "area", "count_epsilons",
+            "level_variance", "domain_lo", "domain_hi")},
+            height=engine.height, fanout=engine.fanout)
+        with pytest.raises(ValueError, match="int32 child offsets"):
+            engine_with_precision(huge, "float32")
+
+
+# ----------------------------------------------------------------------
+# Zero-copy serving: pickling, sharded workers, the answer cache
+# ----------------------------------------------------------------------
+class TestZeroCopyServing:
+    def test_mapped_engine_pickles_without_segments(self, points, domain, tmp_path):
+        from repro.parallel.shm import SharedArena, detach_all, dumps_shared, loads_shared
+
+        engine = compile_psd(_build("quad-opt", points, domain))
+        path = tmp_path / "engine.psdm"
+        save_engine(engine, path, format="mmap")
+        mapped = load_engine(path)
+        queries = _queries(_build("quad-opt", points, domain))
+        try:
+            with SharedArena() as arena:
+                payload = dumps_shared({"engine": mapped}, arena)
+                # Every array rides as a file reference: no segments, and the
+                # payload is header-sized, not engine-sized.
+                assert arena.n_segments == 0
+                assert len(payload) < 4096
+                attached = loads_shared(payload)["engine"]
+                assert attached.mapped_nbytes() == mapped.mapped_nbytes()
+                _assert_bitwise(batch_query(mapped, queries),
+                                batch_query(attached, queries))
+        finally:
+            detach_all()
+
+    def test_sliced_memmap_not_diverted(self, points, domain, tmp_path):
+        # A sliced view inherits its parent's .offset unadjusted — shipping it
+        # as a file reference would map the wrong bytes, so it must fall back
+        # to the ordinary pickle/shm path.
+        from repro.parallel.shm import mapped_handle
+
+        engine = compile_psd(_build("quad-opt", points, domain))
+        path = tmp_path / "engine.psdm"
+        save_engine(engine, path, format="mmap")
+        mapped = load_engine(path)
+        assert mapped_handle(mapped.released) is not None
+        assert mapped_handle(mapped.released[1:]) is None
+        assert mapped_handle(np.asarray([1.0, 2.0])) is None
+
+    def test_sharded_server_over_mapped_engine(self, points, domain, tmp_path):
+        from repro.parallel import ShardedQueryServer
+
+        engine = compile_psd(_build("quad-opt", points, domain))
+        path = tmp_path / "engine.psdm"
+        save_engine(engine, path, format="mmap")
+        mapped = load_engine(path)
+        queries = _queries(_build("quad-opt", points, domain), n=60)
+        direct = batch_query(engine, queries)
+        with ShardedQueryServer(mapped, workers=2, chunk_queries=16) as server:
+            sharded = server.batch_query(queries)
+            stats = server.stats()
+        _assert_bitwise(direct, sharded)
+        assert stats["engine_mapped_bytes"] > 0
+        assert stats["shm_segments"] == 0  # the file is the sharing mechanism
+
+    def test_cached_engine_over_mapped_engine(self, points, domain, tmp_path):
+        engine = compile_psd(_build("quad-opt", points, domain))
+        path = tmp_path / "engine.psdm"
+        save_engine(engine, path, format="mmap")
+        cached = CachedEngine(load_engine(path))
+        queries = _queries(_build("quad-opt", points, domain), n=20)
+        first = cached.batch_range_query(queries)
+        second = cached.batch_range_query(queries)
+        assert np.array_equal(first, second)
+        assert cached.stats()["hits"] >= len(queries)
+        assert np.array_equal(first, batch_query(engine, queries).estimates)
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+class TestCliMmap:
+    @pytest.fixture(scope="class")
+    def release_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "release.json"
+        main(["build", "--synthetic", "4000", "--variant", "quad-opt",
+              "--height", "5", "--epsilon", "0.5", "--output", str(path)])
+        return path
+
+    def test_compile_mmap_and_query_autodetects(self, release_path, tmp_path, capsys):
+        npz = tmp_path / "engine.npz"
+        mm = tmp_path / "engine.psdm"
+        assert main(["compile", str(release_path), "--output", str(npz)]) == 0
+        assert main(["compile", str(release_path), "--format", "mmap",
+                     "--output", str(mm)]) == 0
+        capsys.readouterr()
+        rect = "--rect=-123,46,-121,48"
+        assert main(["query", str(npz), rect]) == 0
+        npz_out = capsys.readouterr().out
+        assert main(["query", str(mm), rect]) == 0
+        mm_out = capsys.readouterr().out
+        assert npz_out == mm_out  # bitwise-identical answer, format-blind CLI
+
+    def test_compile_float32_precision(self, release_path, tmp_path, capsys):
+        mm = tmp_path / "engine32.psdm"
+        assert main(["compile", str(release_path), "--format", "mmap",
+                     "--precision", "float32", "--output", str(mm)]) == 0
+        out = capsys.readouterr().out
+        assert "float32" in out
+        assert load_engine(mm).storage_precision == "float32"
+
+    def test_query_mmap_with_workers_reports_mapped_bytes(
+        self, release_path, tmp_path, capsys
+    ):
+        mm = tmp_path / "engine.psdm"
+        main(["compile", str(release_path), "--format", "mmap", "--output", str(mm)])
+        capsys.readouterr()
+        rects = [f"--rect=-123,4{i},-121,4{i + 2}" for i in range(4)]
+        assert main(["query", str(mm), *rects, "--workers", "2",
+                     "--chunk-queries", "2", "--stats"]) == 0
+        import re
+
+        err = capsys.readouterr().err
+        match = re.search(r"(\d+) engine bytes memory-mapped", err)
+        assert match is not None
+        assert int(match.group(1)) > 0
