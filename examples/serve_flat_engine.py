@@ -17,7 +17,13 @@ pipeline the :mod:`repro.engine` subsystem enables:
    format v2, compare cold attach latency against the ``.npz`` load (the
    answers are bitwise identical), fan a batch across a two-worker
    :class:`~repro.parallel.ShardedQueryServer` whose workers re-map the same
-   file, and report mapped-bytes / RSS from the observability registry.
+   file, and report mapped-bytes / RSS from the observability registry;
+5. **fault-tolerant serving** — front the mapped engine with the
+   :mod:`repro.serve` HTTP service: a budget-capped analyst is refused with
+   429 once its ε is spent, a deterministic kill-worker schedule crashes
+   pool workers under live traffic, and the engine is hot-swapped to a
+   float32 memory-map mid-stream — zero requests dropped, and reopening the
+   write-ahead ledger replays the spend bit-for-bit.
 
 Run with::
 
@@ -139,6 +145,119 @@ def main() -> None:
           f"{serve_stats['shm_segments']} shm segments")
     print(f"  obs registry   : engine.bytes_mapped={gauges.get('engine.bytes_mapped', 0):,.0f}, "
           f"example.rss_kb={gauges.get('example.rss_kb', -1):,.0f}")
+
+    # --- 5. fault-tolerant serving: budget, faults, and a live hot swap ----
+    import http.client
+    import json
+    import threading
+
+    from repro.serve import BudgetLedger, EngineSupervisor, QueryService, ServiceThread, parse_faults
+
+    float32_path = workdir / "engine_f32.psdm"
+    save_engine(engine, float32_path, format="mmap", precision="float32")
+
+    def post(port: int, path: str, body: dict):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        try:
+            conn.request("POST", path, body=json.dumps(body).encode())
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def get_json(port: int, path: str) -> dict:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        try:
+            conn.request("GET", path)
+            return json.loads(conn.getresponse().read())
+        finally:
+            conn.close()
+
+    # Batches bigger than one chunk, so every request fans across the pool
+    # (a batch that fits one chunk is served in-process and would never
+    # notice a dead worker).
+    rows = [[float(v) for v in list(q.lo) + list(q.hi)] for q in queries[:16]]
+    ledger_path = workdir / "budget.jsonl"
+    supervisor = EngineSupervisor(mapped, workers=2, chunk_queries=4)
+    ledger = BudgetLedger(str(ledger_path), default_cap=0.5)
+    # Every 5th admitted request deterministically crashes a pool worker:
+    # the supervised pool rebuilds and replays, the caller only sees latency.
+    service = QueryService(supervisor, ledger, faults=parse_faults("kill-worker:5"))
+
+    hammer_stop = threading.Event()
+    hammer: dict = {"statuses": [], "generations": set()}
+
+    def hammer_loop(port: int) -> None:
+        # A well-behaved reader: tiny ε per request, never near the cap.
+        while not hammer_stop.is_set():
+            status, body = post(port, "/query",
+                                {"analyst": "reader", "queries": rows, "epsilon": 1e-6})
+            hammer["statuses"].append(status)
+            if status == 200:
+                hammer["generations"].add(body["generation"])
+
+    try:
+        with ServiceThread(service) as thread:
+            port = thread.address[1]
+            reader = threading.Thread(target=hammer_loop, args=(port,))
+            reader.start()
+
+            # A greedy analyst burns through its ε cap and is refused: 429,
+            # charge-before-answer, nothing released past the budget.
+            refusal = None
+            for _ in range(4):
+                status, body = post(port, "/query",
+                                    {"analyst": "greedy", "queries": rows, "epsilon": 0.2})
+                if status == 429:
+                    refusal = body
+                    break
+            assert refusal is not None, "budget cap was never enforced"
+
+            # Wait until a kill drill has fired *and* the reader's traffic has
+            # forced the pool to rebuild (the rebuild is lazy: it happens when
+            # the next batch hits the broken pool).  Snapshot /stats before
+            # the swap — the post-swap generation starts with fresh counters.
+            deadline = time.monotonic() + 30.0
+            while True:
+                stats = get_json(port, "/stats")
+                server = stats["supervisor"]["server"]
+                if (stats["faults"].get("kill-worker", 0) >= 1
+                        and server["pool_rebuilds"] + server["inproc_fallbacks"] >= 1):
+                    break
+                assert time.monotonic() < deadline, "kill-worker drill never forced a rebuild"
+                time.sleep(0.05)
+
+            # Hot swap to the float32 memory-map while the reader hammers on:
+            # in-flight queries drain on generation 1, new ones pin generation 2.
+            status, swap = post(port, "/admin/swap", {"path": str(float32_path)})
+            assert status == 200, swap
+            deadline = time.monotonic() + 30.0
+            while swap["generation"] not in hammer["generations"]:
+                assert time.monotonic() < deadline, "no request landed on the new generation"
+                time.sleep(0.05)
+            hammer_stop.set()
+            reader.join()
+    finally:
+        hammer_stop.set()
+        supervisor.close()
+        greedy_hex = ledger.spend_hex("greedy")
+        ledger.close()
+
+    replayed = BudgetLedger(str(ledger_path), default_cap=0.5)
+    assert replayed.spend_hex("greedy") == greedy_hex, "WAL replay drifted"
+    replayed.close()
+
+    dropped = [code for code in hammer["statuses"] if code != 200]
+    assert not dropped, f"dropped {len(dropped)} requests during faults/swap"
+    print(f"\nfault-tolerant serving ({len(hammer['statuses'])} reader requests, "
+          f"cap {ledger.default_cap} eps):")
+    print(f"  budget refusal : 'greedy' got 429 after spending "
+          f"{0.5 - refusal['remaining']:.1f} eps ({refusal['remaining']:.1f} left of 0.5)")
+    print(f"  fault drills   : {stats['faults']} fired -> "
+          f"{stats['supervisor']['server']['pool_rebuilds']} pool rebuilds, zero dropped requests")
+    print(f"  hot swap       : generation {swap['generation']} serves {float32_path.name} "
+          f"(float32); reader saw generations {sorted(hammer['generations'])}")
+    print(f"  WAL replay     : reopened ledger reproduces 'greedy' spend bitwise ({greedy_hex})")
 
 
 if __name__ == "__main__":

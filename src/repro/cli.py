@@ -17,7 +17,14 @@ Four sub-commands cover the life-cycle of a private release:
 * ``experiment`` — run one of the paper-figure experiments through the
   multi-release sweep pipeline at a named scale (``smoke`` / ``default`` /
   ``paper``) and print its series (optionally writing them as JSON), the same
-  code path the benchmark suite uses.
+  code path the benchmark suite uses;
+* ``serve`` — stand up the fault-tolerant HTTP query service on an engine
+  (JSON release or compiled engine, either format): per-analyst ε budgets
+  enforced through a crash-safe write-ahead ledger, a supervised worker pool
+  that survives worker death, bounded admission with load shedding, and
+  zero-downtime engine hot swap via ``POST /admin/swap``.  ``--fault``
+  schedules deterministic faults (``kill-worker:N``, ``slow-chunk:N[:sec]``,
+  ``wal-io-error:N``, ``oom-worker:N``) for drills and tests.
 
 Examples
 --------
@@ -31,6 +38,8 @@ Examples
     python -m repro.cli query engine.psdm --queries-file workload.txt --workers 4
     python -m repro.cli experiment --figure 3 --scale smoke --json fig3.json
     python -m repro.cli experiment fig3 --epsilons 0.5 --n-points 20000
+    python -m repro.cli serve engine.psdm --ledger budget.jsonl --port 8080 \
+        --budget-cap 1.0 --workers 4
 """
 
 from __future__ import annotations
@@ -315,6 +324,65 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from .serve import BudgetLedger, EngineSupervisor, QueryService, parse_faults
+
+    fmt = detect_engine_format(args.release)
+    if fmt is not None:
+        try:
+            engine = load_engine(args.release)
+        except Exception as exc:
+            raise SystemExit(f"cannot load compiled engine {args.release!r}: {exc}")
+    else:
+        engine = load_psd(args.release).compile()
+    try:
+        faults = parse_faults(args.fault)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    supervisor = EngineSupervisor(engine, workers=args.workers,
+                                  chunk_queries=args.chunk_queries,
+                                  cache_size=args.cache_size)
+    ledger = BudgetLedger(args.ledger, default_cap=args.budget_cap)
+    if ledger.replayed_records:
+        print(f"replayed {ledger.replayed_records} ledger records from {args.ledger}",
+              file=sys.stderr)
+    service = QueryService(supervisor, ledger, host=args.host, port=args.port,
+                           charge_epsilon=args.charge_epsilon,
+                           max_inflight=args.max_inflight,
+                           request_timeout=args.timeout, faults=faults)
+
+    async def _run() -> None:
+        await service.start()
+        # The bound port line is machine-read by the smoke harness: keep the
+        # format stable and flush it before blocking.
+        print(f"serving {engine.name} on http://{service.host}:{service.port} "
+              f"(ledger {args.ledger}, cap {args.budget_cap})", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+        try:
+            await stop.wait()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_run())
+    finally:
+        supervisor.close()
+        ledger.close()
+    print("server stopped; ledger is durable and will replay on restart",
+          file=sys.stderr)
+    return 0
+
+
 _EXPERIMENTS = {
     "fig2": lambda args, scale: (run_fig2(), ["height", "err_uniform", "err_geometric", "ratio"]),
     "fig3": lambda args, scale: (
@@ -499,6 +567,50 @@ def build_parser() -> argparse.ArgumentParser:
                                  "identical for any worker count)")
     _add_obs_args(experiment)
     experiment.set_defaults(func=_cmd_experiment)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve range queries over HTTP with per-analyst budgets and "
+             "fault-tolerant workers",
+        description="Stand up the asyncio HTTP query service on an engine "
+                    "(JSON release or compiled engine, either format). Every "
+                    "answer is preceded by a durable charge against the "
+                    "analyst's epsilon account in the write-ahead ledger; an "
+                    "exhausted account gets 429, an overloaded server sheds "
+                    "with 503 + Retry-After, and a crashed worker costs "
+                    "latency, not errors. POST /admin/swap hot-swaps the "
+                    "engine with zero downtime.",
+    )
+    serve.add_argument("release", help="engine to serve: released JSON (compiled "
+                                       "on startup) or a compiled engine file")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default 0 = ephemeral; the bound port is printed)")
+    serve.add_argument("--ledger", required=True,
+                       help="path of the append-only budget WAL (JSON lines); replayed "
+                            "on startup, so restarts never forget spend")
+    serve.add_argument("--budget-cap", type=float, default=1.0,
+                       help="default epsilon cap per analyst (default 1.0)")
+    serve.add_argument("--charge-epsilon", type=float, default=0.01,
+                       help="epsilon charged per query when a request names no "
+                            "explicit total (default 0.01)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker pool size per engine generation "
+                            "(-1 = all cores; 1 serves in-process)")
+    serve.add_argument("--chunk-queries", type=int, default=1024,
+                       help="queries per fanned-out chunk (default 1024)")
+    serve.add_argument("--cache-size", type=int, default=0,
+                       help="LRU answer-cache capacity in front of the pool "
+                            "(0 disables caching; default 0)")
+    serve.add_argument("--max-inflight", type=int, default=64,
+                       help="admitted-request bound before load shedding (default 64)")
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       help="per-request timeout in seconds (default 30)")
+    serve.add_argument("--fault", action="append", default=None,
+                       help="deterministic fault schedule kind:every[:param] — kinds: "
+                            "kill-worker, slow-chunk, wal-io-error, oom-worker "
+                            "(repeatable; for drills, tests and benchmarks)")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -30,8 +30,10 @@ answered from the (thread-safe) cache and only misses fan out.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Iterable, Optional, Tuple, Union
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -58,6 +60,25 @@ _SERVE: Dict = {}
 
 
 def _init_serve_worker(payload: bytes) -> None:
+    # Forked workers inherit the parent's Python-level signal handlers AND its
+    # signal wakeup fd.  Under an asyncio parent that is poisonous: a SIGTERM
+    # delivered to a *worker* (e.g. executor cleanup after a sibling crashed)
+    # would run the inherited handler, which writes the signal number into the
+    # shared wakeup socketpair — and the parent's event loop reads it as a
+    # signal delivered to *itself*, shutting the server down.  Detach the
+    # wakeup fd and restore default dispositions before serving anything.
+    import signal
+
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
+
     from .sweep import _init_worker_obs
 
     state = loads_shared(payload)
@@ -70,6 +91,15 @@ def _serve_chunk(
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, object]:
     result = batch_query(_SERVE["engine"], rows, use_uniformity=use_uniformity)
     return result.estimates, result.nodes_touched, result.variances, obs_snapshot()
+
+
+def _worker_exit(code: int = 1) -> None:  # pragma: no cover - runs in a worker
+    """Kill the worker that picks this task up (fault injection / tests).
+
+    ``os._exit`` skips interpreter teardown, which is exactly what a crashed
+    worker looks like: the pool's next result raises ``BrokenProcessPool``.
+    """
+    os._exit(code)
 
 
 def _serve_matrix_rows(
@@ -108,6 +138,12 @@ class ShardedQueryServer:
     chunk_queries:
         Queries per fanned-out chunk (also the ``chunk_queries=`` passed to
         each worker's evaluator, capping its frontier memory).
+    max_rebuilds:
+        How many times one batch may rebuild a broken pool before its
+        remaining chunks are served in-process.
+    rebuild_backoff:
+        Optional ``callable(attempt)`` run before each rebuild (install a
+        sleep for bounded exponential backoff; default: rebuild immediately).
 
     Use as a context manager (or call :meth:`close`) so the pool and the
     shared segments are reclaimed deterministically.
@@ -118,14 +154,26 @@ class ShardedQueryServer:
         engine: FlatPSD,
         workers: Optional[int] = None,
         chunk_queries: int = DEFAULT_CHUNK_QUERIES,
+        max_rebuilds: int = 3,
+        rebuild_backoff: Optional[Callable[[int], None]] = None,
     ) -> None:
         from .sweep import resolve_workers
 
         if chunk_queries < 1:
             raise ValueError("chunk_queries must be at least 1")
+        if max_rebuilds < 0:
+            raise ValueError("max_rebuilds must be non-negative")
         self.engine = engine
         self.chunk_queries = int(chunk_queries)
         self.workers = resolve_workers(workers if workers is not None else -1)
+        #: Pool rebuilds allowed per batch before the remaining chunks are
+        #: served in-process.  A crashed worker therefore costs the caller
+        #: latency, never an exception.
+        self.max_rebuilds = int(max_rebuilds)
+        #: Optional hook called with the rebuild attempt number (1-based)
+        #: before each rebuild — the serving layer installs its bounded
+        #: exponential backoff here; the default rebuilds immediately.
+        self.rebuild_backoff = rebuild_backoff
         self._matrices: Dict[int, object] = {}
         self._next_matrix_key = 0
         self._arena = SharedArena()
@@ -139,6 +187,8 @@ class ShardedQueryServer:
             "queries": 0,
             "chunks": 0,
             "matrix_dots": 0,
+            "pool_rebuilds": 0,
+            "inproc_fallbacks": 0,
         }
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -147,31 +197,84 @@ class ShardedQueryServer:
         Lazy so that a server whose batches never exceed one chunk (or whose
         ``workers`` is 1) pays neither process startup nor the engine's
         shared-memory export — small workloads are served in-process at zero
-        overhead.
+        overhead.  If the pool cannot be brought up, the arena's segments are
+        unlinked before the error propagates: a failed init must not leak
+        ``/dev/shm`` entries.
         """
         if self._pool is None:
-            payload = dumps_shared(
-                {
-                    "engine": self.engine,
-                    "matrices": dict(self._matrices),
-                    "obs": {"metrics": metrics_enabled(), "trace": tracing_enabled()},
-                },
-                self._arena,
-            )
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_serve_worker,
-                initargs=(payload,),
-            )
+            try:
+                payload = dumps_shared(
+                    {
+                        "engine": self.engine,
+                        "matrices": dict(self._matrices),
+                        "obs": {"metrics": metrics_enabled(), "trace": tracing_enabled()},
+                    },
+                    self._arena,
+                )
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_serve_worker,
+                    initargs=(payload,),
+                )
+            except BaseException:
+                self._arena.close()
+                raise
         return self._pool
 
+    def _teardown_pool(self) -> None:
+        """Discard the (possibly broken) pool; shared segments stay exported.
+
+        A rebuilt pool re-attaches the same arena segments, so teardown after
+        a worker crash keeps the engine's shared pages warm for the replay.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=True)
+            except Exception:  # pragma: no cover - broken pools may misbehave
+                pass
+
     # ------------------------------------------------------------------
+    def kill_worker(self) -> None:
+        """Crash one pool worker (deterministic fault injection).
+
+        Submits a task that hard-exits whichever worker picks it up; the next
+        fanned-out batch observes ``BrokenProcessPool`` and exercises the
+        rebuild-and-replay path.  A server whose pool has not started yet (or
+        runs with ``workers <= 1``) has no process to kill — a no-op then, so
+        fault plans compose with the in-process degenerate case.
+        """
+        if self.workers <= 1 or self._pool is None:
+            return
+        counter_add("serve.fault_kills")
+        try:
+            self._pool.submit(_worker_exit)
+        except BrokenProcessPool:  # already dead; the next batch rebuilds
+            pass
+
+    def _eval_inproc(self, rows: np.ndarray, use_uniformity: bool) -> Tuple[np.ndarray, ...]:
+        """Evaluate one chunk in the parent — the always-correct fallback."""
+        self._stats["inproc_fallbacks"] += 1
+        counter_add("serve.inproc_fallbacks")
+        result = batch_query(self.engine, rows, use_uniformity=use_uniformity,
+                             chunk_queries=self.chunk_queries)
+        return result.estimates, result.nodes_touched, result.variances
+
     def batch_query(
         self,
         queries: Union[Iterable[QueryInput], np.ndarray],
         use_uniformity: bool = True,
     ) -> BatchQueryResult:
-        """Evaluate a batch, fanning chunks across the pool; input order kept."""
+        """Evaluate a batch, fanning chunks across the pool; input order kept.
+
+        Worker death is survivable: chunks lost to a ``BrokenProcessPool``
+        are replayed on a rebuilt pool (up to ``max_rebuilds`` times, with
+        :attr:`rebuild_backoff` between attempts), and chunks that still
+        cannot be served — or whose task raised in the worker, e.g. an OOM —
+        are evaluated in-process.  The evaluator is deterministic, so a
+        replayed chunk is bitwise identical to a first-try one; callers see
+        added latency, never an error.
+        """
         qlo, qhi = queries_to_arrays(queries, self.engine.dims)
         n_queries = qlo.shape[0]
         rows = np.hstack([qlo, qhi])
@@ -181,25 +284,70 @@ class ShardedQueryServer:
         if self.workers <= 1 or n_queries <= self.chunk_queries:
             return batch_query(self.engine, rows, use_uniformity=use_uniformity,
                                chunk_queries=self.chunk_queries)
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(_serve_chunk, rows[start : start + self.chunk_queries],
-                        use_uniformity)
-            for start in range(0, n_queries, self.chunk_queries)
-        ]
         self._stats["sharded_batches"] += 1
-        self._stats["chunks"] += len(futures)
-        counter_add("serve.chunks", len(futures))
-        gauge_max("serve.queue_depth", len(futures))
-        parts = []
-        for future in futures:
-            estimates, touched, variances, worker_obs = future.result()
-            merge_obs_snapshot(worker_obs)
-            parts.append((estimates, touched, variances))
+        starts = list(range(0, n_queries, self.chunk_queries))
+        gauge_max("serve.queue_depth", len(starts))
+        parts: Dict[int, Tuple[np.ndarray, ...]] = {}
+        pending = [(start, rows[start : start + self.chunk_queries]) for start in starts]
+        rebuilds = 0
+        while pending:
+            try:
+                pool = self._ensure_pool()
+                # submit() raises BrokenProcessPool when a worker died idle
+                # between batches — same recovery as a mid-batch break.
+                futures = [(start, chunk, pool.submit(_serve_chunk, chunk, use_uniformity))
+                           for start, chunk in pending]
+            except BrokenProcessPool:
+                self._teardown_pool()
+                rebuilds += 1
+                if rebuilds > self.max_rebuilds:
+                    for start, chunk in pending:
+                        parts[start] = self._eval_inproc(chunk, use_uniformity)
+                    break
+                self._stats["pool_rebuilds"] += 1
+                counter_add("serve.pool_rebuilds")
+                if self.rebuild_backoff is not None:
+                    self.rebuild_backoff(rebuilds)
+                continue
+            except Exception:
+                # The pool cannot come up at all (resource exhaustion, fork
+                # failure): degrade to in-process serving for this batch.
+                for start, chunk in pending:
+                    parts[start] = self._eval_inproc(chunk, use_uniformity)
+                break
+            self._stats["chunks"] += len(futures)
+            counter_add("serve.chunks", len(futures))
+            failed: List[Tuple[int, np.ndarray]] = []
+            for start, chunk, future in futures:
+                try:
+                    estimates, touched, variances, worker_obs = future.result()
+                    merge_obs_snapshot(worker_obs)
+                    parts[start] = (estimates, touched, variances)
+                except BrokenProcessPool:
+                    failed.append((start, chunk))
+                except Exception:
+                    # The task itself raised in the worker (injected OOM, a
+                    # poisoned chunk): the pool is still alive, so only this
+                    # chunk is re-evaluated — in the parent, where a repeat
+                    # failure cannot take a worker down with it.
+                    parts[start] = self._eval_inproc(chunk, use_uniformity)
+            if not failed:
+                break
+            self._teardown_pool()
+            rebuilds += 1
+            if rebuilds > self.max_rebuilds:
+                for start, chunk in failed:
+                    parts[start] = self._eval_inproc(chunk, use_uniformity)
+                break
+            self._stats["pool_rebuilds"] += 1
+            counter_add("serve.pool_rebuilds")
+            if self.rebuild_backoff is not None:
+                self.rebuild_backoff(rebuilds)
+            pending = failed
         return BatchQueryResult(
-            estimates=np.concatenate([p[0] for p in parts]),
-            nodes_touched=np.concatenate([p[1] for p in parts]),
-            variances=np.concatenate([p[2] for p in parts]),
+            estimates=np.concatenate([parts[s][0] for s in starts]),
+            nodes_touched=np.concatenate([parts[s][1] for s in starts]),
+            variances=np.concatenate([parts[s][2] for s in starts]),
         )
 
     def batch_range_query(
@@ -248,21 +396,64 @@ class ShardedQueryServer:
         self._stats["matrix_dots"] += 1
         if self.workers <= 1 or n_queries <= self.chunk_queries:
             return matrix.dot(counts)
-        pool = self._ensure_pool()
-        shipped = (
-            self._arena.export(counts)
-            if counts.nbytes >= self._arena.threshold
-            else counts
-        )
-        futures = [
-            pool.submit(
-                _serve_matrix_rows, key, start, min(start + self.chunk_queries, n_queries),
-                shipped,
-            )
-            for start in range(0, n_queries, self.chunk_queries)
-        ]
-        parts = [future.result() for future in futures]
-        return np.concatenate(parts, axis=0)
+        starts = list(range(0, n_queries, self.chunk_queries))
+        spans = [(start, min(start + self.chunk_queries, n_queries)) for start in starts]
+        parts: Dict[int, np.ndarray] = {}
+        pending = spans
+        rebuilds = 0
+        while pending:
+            try:
+                pool = self._ensure_pool()
+                shipped = (
+                    self._arena.export(counts)
+                    if counts.nbytes >= self._arena.threshold
+                    else counts
+                )
+                futures = [
+                    (start, stop, pool.submit(_serve_matrix_rows, key, start, stop, shipped))
+                    for start, stop in pending
+                ]
+            except BrokenProcessPool:
+                self._teardown_pool()
+                rebuilds += 1
+                if rebuilds > self.max_rebuilds:
+                    break
+                self._stats["pool_rebuilds"] += 1
+                counter_add("serve.pool_rebuilds")
+                if self.rebuild_backoff is not None:
+                    self.rebuild_backoff(rebuilds)
+                continue
+            except Exception:
+                break
+            failed: List[Tuple[int, int]] = []
+            for start, stop, future in futures:
+                try:
+                    parts[start] = future.result()
+                except BrokenProcessPool:
+                    failed.append((start, stop))
+                except Exception:
+                    self._stats["inproc_fallbacks"] += 1
+                    counter_add("serve.inproc_fallbacks")
+                    parts[start] = _matrix_row_slice(matrix, start, stop, counts)
+            if not failed:
+                break
+            self._teardown_pool()
+            rebuilds += 1
+            if rebuilds > self.max_rebuilds:
+                pending = failed
+                break
+            self._stats["pool_rebuilds"] += 1
+            counter_add("serve.pool_rebuilds")
+            if self.rebuild_backoff is not None:
+                self.rebuild_backoff(rebuilds)
+            pending = failed
+        # Whatever never made it through the pool is computed in-process.
+        for start, stop in spans:
+            if start not in parts:
+                self._stats["inproc_fallbacks"] += 1
+                counter_add("serve.inproc_fallbacks")
+                parts[start] = _matrix_row_slice(matrix, start, stop, counts)
+        return np.concatenate([parts[start] for start in starts], axis=0)
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
@@ -280,10 +471,14 @@ class ShardedQueryServer:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the pool down and unlink the shared segments."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut the pool down and unlink the shared segments.
+
+        Idempotent, and safe after a worker crash: a broken pool's shutdown
+        error is swallowed (the processes are already gone) and the arena's
+        close tolerates segments a dead twin already unlinked — so a server
+        can always be closed, whatever state its pool died in.
+        """
+        self._teardown_pool()
         self._arena.close()
 
     def __enter__(self) -> "ShardedQueryServer":

@@ -155,8 +155,19 @@ class SharedArena:
             return handle
         contiguous = np.ascontiguousarray(array)
         segment = shared_memory.SharedMemory(create=True, size=max(1, contiguous.nbytes))
-        view = np.ndarray(contiguous.shape, dtype=contiguous.dtype, buffer=segment.buf)
-        view[...] = contiguous
+        view = None
+        try:
+            view = np.ndarray(contiguous.shape, dtype=contiguous.dtype, buffer=segment.buf)
+            view[...] = contiguous
+        except BaseException:
+            # The segment exists in the system namespace the moment it is
+            # created; if the copy into it fails the arena never learns the
+            # name, so unlink here or the segment leaks until reboot.  The
+            # view's buffer reference must be dropped before close().
+            view = None  # noqa: F841
+            segment.close()
+            segment.unlink()
+            raise
         handle = SharedArrayHandle(segment.name, tuple(contiguous.shape), contiguous.dtype.str)
         self._segments.append(segment)
         self._handles[id(array)] = handle
@@ -166,14 +177,22 @@ class SharedArena:
         return handle
 
     def close(self, unlink: bool = True) -> None:
-        """Release every segment (and by default unlink it from the system)."""
+        """Release every segment (and by default unlink it from the system).
+
+        Idempotent, and safe to call mid-failure: a still-referenced buffer
+        (``BufferError``) does not stop the *name* from being unlinked, so the
+        system-wide ``/dev/shm`` entry disappears even when a view leaked.
+        """
         for segment in self._segments:
             try:
                 segment.close()
-                if unlink:
-                    segment.unlink()
-            except FileNotFoundError:  # already unlinked (e.g. by a crashed twin)
+            except BufferError:  # a view is still alive; unlink the name anyway
                 pass
+            if unlink:
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # already unlinked (e.g. by a crashed twin)
+                    pass
         self._segments.clear()
         self._handles.clear()
         self._keepalive.clear()

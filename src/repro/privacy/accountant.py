@@ -18,12 +18,19 @@ guarantee rather than merely claiming it.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..obs import counter_add, gauge_set, metrics_enabled
 
-__all__ = ["PrivacyCharge", "PrivacyAccountant"]
+__all__ = ["PrivacyCharge", "PrivacyAccountant", "AnalystAccount", "BUDGET_TOLERANCE"]
+
+#: Numerical slack applied to every cap comparison.  A charge may overshoot the
+#: cap by at most this much before it is refused — the same tolerance
+#: :meth:`PrivacyAccountant.assert_within_budget` has always used, so the
+#: single-release and multi-tenant views of "within budget" agree.
+BUDGET_TOLERANCE = 1e-9
 
 
 @dataclass(frozen=True)
@@ -152,3 +159,63 @@ class PrivacyAccountant:
         """
         rows = [(c.level, c.kind, c.epsilon, c.delta) for c in self.charges]
         return sorted(rows, key=lambda r: (-r[0], r[1]))
+
+
+class AnalystAccount:
+    """One analyst's ε account: lock-protected charge-or-refuse against a cap.
+
+    Where :class:`PrivacyAccountant` audits the spend of building *one*
+    release, an :class:`AnalystAccount` enforces the spend of *one consumer*
+    across many queries of a long-lived service (the PSI "private data
+    sharing interface" model): every query charges its ε here first, and a
+    charge that would push the running total past the cap is refused atomically
+    — the check and the increment happen under one lock, so no interleaving of
+    concurrent charges can overshoot.  This is the in-memory half of the
+    serving layer's budget ledger (:mod:`repro.serve.ledger` adds the
+    crash-safe write-ahead log).
+    """
+
+    def __init__(self, analyst: str, cap: float, spent: float = 0.0) -> None:
+        if cap <= 0:
+            raise ValueError("budget cap must be positive")
+        if spent < 0:
+            raise ValueError("spent must be non-negative")
+        self.analyst = str(analyst)
+        self.cap = float(cap)
+        self.spent = float(spent)
+        self.charges = 0
+        self._lock = threading.Lock()
+
+    def try_charge(self, epsilon: float) -> bool:
+        """Atomically spend ``epsilon`` if it fits under the cap.
+
+        Returns True (and records the spend) when the charge fits; False —
+        leaving the account untouched — when it would exceed the cap.  A
+        non-positive charge is rejected outright: a zero-cost query would let
+        an analyst probe the refusal boundary for free, and a negative one
+        would be a refund, which differential privacy does not offer.
+        """
+        epsilon = float(epsilon)
+        if epsilon <= 0:
+            raise ValueError("charge epsilon must be positive")
+        with self._lock:
+            if self.spent + epsilon > self.cap + BUDGET_TOLERANCE:
+                return False
+            self.spent += epsilon
+            self.charges += 1
+            return True
+
+    def remaining(self) -> float:
+        """Unspent budget (never negative beyond numerical tolerance)."""
+        with self._lock:
+            return self.cap - self.spent
+
+    def snapshot(self) -> Dict[str, float]:
+        """A consistent ``{spent, cap, remaining, charges}`` view."""
+        with self._lock:
+            return {
+                "spent": self.spent,
+                "cap": self.cap,
+                "remaining": self.cap - self.spent,
+                "charges": self.charges,
+            }

@@ -1,0 +1,30 @@
+"""Fault-tolerant serving layer: HTTP front-end, budget WAL, supervision.
+
+The production face of the engine stack: :class:`QueryService` is an asyncio
+HTTP/1.1 endpoint that charges a crash-safe per-analyst ε ledger before every
+answer, serves batches through a supervised worker pool that survives worker
+death, sheds load when saturated, and hot-swaps engines with zero downtime.
+A deterministic fault-injection harness (:mod:`repro.serve.faults`) drives
+all of it from tests and benchmarks without a single random draw.
+"""
+
+from .faults import FAULT_KINDS, FaultInjector, FaultSpec, parse_fault, parse_faults
+from .http import DEFAULT_CHARGE_EPSILON, QueryService, ServiceThread
+from .ledger import BudgetExceeded, BudgetLedger, LedgerError
+from .supervisor import EngineState, EngineSupervisor
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "parse_fault",
+    "parse_faults",
+    "DEFAULT_CHARGE_EPSILON",
+    "QueryService",
+    "ServiceThread",
+    "BudgetExceeded",
+    "BudgetLedger",
+    "LedgerError",
+    "EngineState",
+    "EngineSupervisor",
+]

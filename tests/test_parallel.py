@@ -240,6 +240,126 @@ class TestChunkedBatchQuery:
         assert np.array_equal(result.estimates, reference.estimates)
 
 
+class TestShardedResilience:
+    """A dead pool must cost latency, never errors — and never leak shm."""
+
+    def test_worker_kill_is_survived_with_parity(self, engine, workload):
+        reference = batch_query(engine, workload.queries)
+        with ShardedQueryServer(engine, workers=2, chunk_queries=7) as server:
+            first = server.batch_query(workload.queries)  # starts the pool
+            assert np.array_equal(first.estimates, reference.estimates)
+            server.kill_worker()
+            # A worker that died may be noticed mid-batch or between batches;
+            # either way parity must hold and a rebuild must show up (re-kill
+            # a few times in case a fast surviving worker drained the batch
+            # before the pool noticed the corpse).
+            for _ in range(5):
+                result = server.batch_query(workload.queries)
+                assert np.array_equal(result.estimates, reference.estimates)
+                assert np.array_equal(result.nodes_touched, reference.nodes_touched)
+                assert np.array_equal(result.variances, reference.variances)
+                stats = server.stats()
+                if stats["pool_rebuilds"] + stats["inproc_fallbacks"] >= 1:
+                    break
+                server.kill_worker()
+            stats = server.stats()
+            assert stats["pool_rebuilds"] + stats["inproc_fallbacks"] >= 1
+            # the server is fully usable again after the crash
+            again = server.batch_query(workload.queries)
+            assert np.array_equal(again.estimates, reference.estimates)
+
+    def test_matrix_dot_survives_worker_kill(self, engine, workload):
+        matrix = compile_query_matrix(engine, workload.queries)
+        direct = matrix.dot(engine.released)
+        with ShardedQueryServer(engine, workers=2, chunk_queries=7) as server:
+            key = server.share_matrix(matrix)
+            server.batch_query(workload.queries)  # starts the pool
+            server.kill_worker()
+            sharded = server.matrix_dot(key, engine.released)
+            assert np.allclose(sharded, direct, rtol=1e-9, atol=1e-12)
+
+    def test_close_is_idempotent_and_safe_after_crash(self, engine, workload):
+        server = ShardedQueryServer(engine, workers=2, chunk_queries=7)
+        server.batch_query(workload.queries)
+        server.kill_worker()
+        server.close()
+        server.close()  # second close is a no-op, not an error
+        # a closed server still answers (in-process, pool restarted on demand)
+        result = server.batch_query(workload.queries[:3])
+        assert len(result) == 3
+        server.close()
+
+    def test_worker_task_exception_falls_back_in_process(self, engine, workload,
+                                                         monkeypatch):
+        """A task raising in the worker (injected OOM) re-evaluates in the
+        parent: the pool survives and the answers stay bitwise identical."""
+        import repro.parallel.serve as serve_mod
+
+        reference = batch_query(engine, workload.queries)
+        # Patch before the pool forks so workers inherit the failing task.
+        monkeypatch.setattr(serve_mod, "_serve_chunk", _oom_chunk)
+        with ShardedQueryServer(engine, workers=2, chunk_queries=7) as server:
+            result = server.batch_query(workload.queries)
+            assert np.array_equal(result.estimates, reference.estimates)
+            assert server.stats()["inproc_fallbacks"] >= 1
+            assert server._pool is not None  # the pool was never torn down
+
+    def test_pool_init_failure_unlinks_segments_and_degrades(self, engine, workload,
+                                                             monkeypatch):
+        """If the pool cannot start, the exported segments must be unlinked
+        (no /dev/shm leak) and the batch served in-process."""
+        import repro.parallel.serve as serve_mod
+
+        def broken_executor(*args, **kwargs):
+            raise RuntimeError("fork failed (injected)")
+
+        shm_before = _shm_entries()
+        reference = batch_query(engine, workload.queries)
+        monkeypatch.setattr(serve_mod, "ProcessPoolExecutor", broken_executor)
+        with ShardedQueryServer(engine, workers=2, chunk_queries=7) as server:
+            result = server.batch_query(workload.queries)
+            assert np.array_equal(result.estimates, reference.estimates)
+            assert server._arena.n_segments == 0
+            assert server.stats()["inproc_fallbacks"] >= 1
+        assert _shm_entries() == shm_before
+
+    def test_export_failure_unlinks_segment(self, monkeypatch):
+        """SharedArena.export must not leak a segment when the copy into it
+        raises."""
+        from repro.parallel.shm import SharedArena as Arena
+
+        shm_before = _shm_entries()
+        real_ndarray = np.ndarray
+
+        def exploding_ndarray(*args, **kwargs):
+            raise MemoryError("copy failed (injected)")
+
+        arena = Arena()
+        monkeypatch.setattr(np, "ndarray", exploding_ndarray)
+        try:
+            with pytest.raises(MemoryError):
+                arena.export(real_ndarray.__new__(real_ndarray, (4,), dtype=np.float64))
+        finally:
+            monkeypatch.undo()
+        assert arena.n_segments == 0
+        assert _shm_entries() == shm_before
+        arena.close()
+
+
+def _oom_chunk(rows, use_uniformity):  # must be module-level: pickled by name
+    raise MemoryError("worker out of memory (injected)")
+
+
+def _shm_entries() -> set:
+    """The current /dev/shm segment names (empty off-Linux)."""
+    import os
+
+    try:
+        return set(os.listdir("/dev/shm"))
+    except OSError:
+        return set()
+
+
 class TestShardedQueryServer:
     def test_parity_and_matrix_dot(self, engine, workload):
         reference = batch_query(engine, workload.queries)

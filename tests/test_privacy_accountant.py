@@ -9,7 +9,8 @@ from repro.core.builder import BudgetSplit, build_psd, build_psd_releases
 from repro.core.splits import KDSplit, QuadSplit
 from repro.data.tiger import road_intersections
 from repro.geometry.domain import TIGER_DOMAIN
-from repro.privacy import PrivacyAccountant, PrivacyCharge
+from repro.privacy import AnalystAccount, PrivacyAccountant, PrivacyCharge
+from repro.privacy.accountant import BUDGET_TOLERANCE
 
 
 class TestPrivacyCharge:
@@ -74,6 +75,77 @@ class TestPrivacyAccountant:
         acc.charge(0.2, level=3, kind="median")
         rows = acc.summary()
         assert rows[0][0] == 3 and rows[-1][0] == 0
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant analyst accounts: charge-or-refuse under contention
+# ----------------------------------------------------------------------
+class TestAnalystAccount:
+    def test_charge_accumulates_and_refuses_at_cap(self):
+        account = AnalystAccount("alice", cap=1.0)
+        assert account.try_charge(0.4)
+        assert account.try_charge(0.6)
+        assert not account.try_charge(0.1)  # refusal leaves the account intact
+        snap = account.snapshot()
+        assert snap["spent"] == pytest.approx(1.0)
+        assert snap["charges"] == 2
+        assert account.remaining() == pytest.approx(0.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            AnalystAccount("a", cap=0.0)
+        with pytest.raises(ValueError):
+            AnalystAccount("a", cap=1.0, spent=-0.1)
+        account = AnalystAccount("a", cap=1.0)
+        with pytest.raises(ValueError):
+            account.try_charge(0.0)
+        with pytest.raises(ValueError):
+            account.try_charge(-0.5)
+
+    def test_resumes_from_prior_spend(self):
+        account = AnalystAccount("a", cap=1.0, spent=0.95)
+        assert not account.try_charge(0.1)
+        assert account.try_charge(0.05)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_concurrent_charges_never_exceed_cap(self, seed):
+        """Property: under any thread interleaving, successful charges sum to
+        at most the cap (plus numerical tolerance) and exactly match the
+        account's recorded spend — the lock-protected charge-or-refuse must
+        leave no window between the check and the increment."""
+        import threading
+
+        rng = np.random.default_rng(seed)
+        cap = 1.0
+        account = AnalystAccount("alice", cap=cap)
+        n_threads, n_attempts = 8, 40
+        # Fixed per-thread charge schedules (drawn up front: the property is
+        # about interleaving, not about randomness during the race).
+        schedules = [
+            [float(e) for e in rng.uniform(0.001, 0.09, size=n_attempts)]
+            for _ in range(n_threads)
+        ]
+        granted: list = [[] for _ in range(n_threads)]
+        barrier = threading.Barrier(n_threads)
+
+        def worker(tid):
+            barrier.wait()  # maximise contention
+            for epsilon in schedules[tid]:
+                if account.try_charge(epsilon):
+                    granted[tid].append(epsilon)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total_granted = sum(sum(g) for g in granted)
+        snap = account.snapshot()
+        assert snap["spent"] == pytest.approx(total_granted, abs=1e-12)
+        assert snap["spent"] <= cap + BUDGET_TOLERANCE
+        assert snap["charges"] == sum(len(g) for g in granted)
+        # the cap was actually contended: most of the budget went out the door
+        assert snap["spent"] > 0.8 * cap
 
 
 # ----------------------------------------------------------------------
