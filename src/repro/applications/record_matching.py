@@ -12,34 +12,55 @@ The quality metric is the **reduction ratio**:
     ``RR = 1 - (candidate pairs after blocking) / (all pairs)``,
 
 so larger is better (the paper notes that improving RR from 0.93 to 0.95 is a
-28 % cut in SMC work).  In this application the entire count budget goes to
-the leaves and queries are answered over the leaf grid, so the hierarchical
-post-processing does not apply — exactly the configuration of Figure 7(b).
+28 % cut in SMC work); see the "Matching layer" subsection of README.md's
+Performance architecture section for how RR, the padding semantics and the
+scoring pipeline fit together.  In this application the entire count budget
+goes to the leaves and queries are answered over the leaf grid, so the
+hierarchical post-processing does not apply — exactly the configuration of
+Figure 7(b).
 
 This module reproduces the blocking step.  The SMC phase itself is out of
 scope (its cost is what RR measures), so matching quality after blocking is
 reported simply as the fraction of true matching pairs whose blocks survive
 (the *pairs completeness*), letting users check that the blocking is not
 discarding real matches.
+
+Two scorers produce identical :class:`BlockingResult` values:
+
+* :func:`blocking_from_engine` (the default behind
+  :func:`blocking_from_psd`) — surviving leaves come straight from the
+  compiled flat engine's arrays, candidate counting runs over a
+  :class:`~repro.engine.points.PointGrid` of the seekers, pairs completeness
+  over a :class:`~repro.engine.points.CellJoinIndex` neighbor join, and the
+  whole evaluation fans seeker chunks across
+  :mod:`repro.parallel.matching` (``workers=N`` bitwise equal to
+  ``workers=1``).  This is the path that carries a 10^6 x 10^6 linkage.
+* :func:`blocking_reference` — the seed-era per-leaf / per-seeker loop,
+  kept as the executable specification for parity tests and benchmarks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..core.builder import build_psd
 from ..core.splits import KDSplit, QuadSplit
 from ..core.tree import PrivateSpatialDecomposition
+from ..engine.points import CellJoinIndex, PointGrid, matching_cell_layout
 from ..geometry.domain import Domain
 from ..geometry.rect import Rect
-from ..privacy.rng import RngLike, ensure_rng
+from ..obs import trace_span
+from ..privacy.rng import RngLike, ensure_rng, spawn_generators
 
 __all__ = [
     "BlockingResult",
+    "MatchingOutcome",
+    "blocking_from_engine",
     "blocking_from_psd",
+    "blocking_reference",
     "build_blocking_tree",
     "record_matching_experiment",
 ]
@@ -69,6 +90,15 @@ class BlockingResult:
     total_pairs: int
     pairs_completeness: float
     surviving_leaves: int
+
+
+@dataclass(frozen=True)
+class MatchingOutcome:
+    """One row of :func:`record_matching_experiment`, in sweep order."""
+
+    method: str
+    epsilon: float
+    result: BlockingResult
 
 
 def build_blocking_tree(
@@ -120,31 +150,146 @@ def build_blocking_tree(
     )
 
 
+def _validate_parties(holders_points: np.ndarray, seekers_points: np.ndarray):
+    holders = np.asarray(holders_points, dtype=float)
+    seekers = np.asarray(seekers_points, dtype=float)
+    if holders.ndim != 2 or seekers.ndim != 2:
+        raise ValueError("point arrays must be two-dimensional (n, d)")
+    return holders, seekers
+
+
+def blocking_from_engine(
+    engine,
+    holders_points: np.ndarray,
+    seekers_points: np.ndarray,
+    matching_distance: float,
+    count_threshold: float = 0.0,
+    workers: Optional[int] = None,
+    seeker_chunk: Optional[int] = None,
+) -> BlockingResult:
+    """Evaluate the blocking induced by a compiled released engine.
+
+    The vectorised scorer: surviving leaves are selected straight from the
+    :class:`~repro.engine.flat.FlatPSD` leaf arrays (a leaf survives when it
+    carries a usable released count above ``count_threshold``), each of B's
+    records is counted against the expanded leaf rects through a seekers
+    :class:`~repro.engine.points.PointGrid`, and pairs completeness comes
+    from a holder-side grid neighbor join — every step exact, so the result
+    is bitwise identical to :func:`blocking_reference` on the same tree.
+    ``workers`` fans seeker chunks across a process pool with the same
+    guarantee (``workers=N`` equals ``workers=1``).
+
+    As in [12], A cannot reveal how many records truly fall in a block — it
+    pads the block with dummy records up to the *released noisy count* — so
+    the SMC cost of a surviving leaf is ``ceil(noisy count) x (B records
+    within matching distance of the leaf)``.
+    """
+    from ..parallel.matching import score_seeker_chunks
+
+    holders, seekers = _validate_parties(holders_points, seekers_points)
+    total_pairs = holders.shape[0] * seekers.shape[0]
+    if total_pairs == 0:
+        return BlockingResult(1.0, 0, 0, 1.0, 0)
+
+    with trace_span("matching.blocking", n_holders=holders.shape[0], n_seekers=seekers.shape[0]):
+        released = engine.released.astype(np.float64, copy=False)
+        surviving = (
+            engine.is_leaf
+            & engine.has_count
+            & np.isfinite(released)
+            & (released > count_threshold)
+        )
+        leaf_ids = np.nonzero(surviving)[0]
+        lo = engine.lo[leaf_ids].astype(np.float64, copy=False)
+        hi = engine.hi[leaf_ids].astype(np.float64, copy=False)
+        a_padded = np.ceil(np.maximum(released[leaf_ids], 0.0)).astype(np.int64)
+        exp_lo = lo - matching_distance
+        exp_hi = hi + matching_distance
+
+        # Which holder records sit in a surviving (unexpanded) leaf.
+        holder_grid = PointGrid.build(holders)
+        surviving_mask = holder_grid.mask_in_rects(lo, hi)
+
+        # Holder-side join index with the shared cell layout: built once in
+        # the parent so every seeker chunk scores against identical state.
+        origin, side, extents = matching_cell_layout(holders, seekers, matching_distance)
+        join_index = CellJoinIndex.build(holders, origin, side, extents)
+
+        b_in, matched_total, matched_retained = score_seeker_chunks(
+            exp_lo,
+            exp_hi,
+            join_index,
+            seekers,
+            matching_distance,
+            surviving_mask,
+            workers=workers,
+            chunk=seeker_chunk,
+        )
+        candidate_pairs = int(np.multiply(a_padded, b_in).sum())
+
+    completeness = 1.0 if matched_total == 0 else matched_retained / matched_total
+    reduction = 1.0 - candidate_pairs / total_pairs
+    return BlockingResult(
+        reduction_ratio=float(reduction),
+        candidate_pairs=int(candidate_pairs),
+        total_pairs=int(total_pairs),
+        pairs_completeness=float(completeness),
+        surviving_leaves=int(leaf_ids.size),
+    )
+
+
 def blocking_from_psd(
     psd: PrivateSpatialDecomposition,
     holders_points: np.ndarray,
     seekers_points: np.ndarray,
     matching_distance: float,
     count_threshold: float = 0.0,
+    workers: Optional[int] = None,
+    seeker_chunk: Optional[int] = None,
 ) -> BlockingResult:
     """Evaluate the blocking induced by a released PSD.
 
     ``holders_points`` is the dataset the PSD was built on (party A) and
-    ``seekers_points`` the other party's records (party B).  A leaf survives
-    if its released count exceeds ``count_threshold``; each of B's records is
-    then a candidate against the records A contributes for that leaf.  As in
-    [12], A cannot reveal how many records truly fall in a block — it pads the
-    block with dummy records up to the *released noisy count* — so the SMC
-    cost of a surviving leaf is ``ceil(noisy count) x (B records within
-    matching distance of the leaf)``.  This padding is exactly why a
-    fine-grained data-independent grid with small per-leaf budgets performs
-    poorly here: noise alone makes thousands of empty cells survive, and every
-    one of them ships dummy records into the SMC.
+    ``seekers_points`` the other party's records (party B).  Compiles (and
+    memoises) the flat engine, then scores through
+    :func:`blocking_from_engine`; values are identical to the seed-era
+    reference loop (:func:`blocking_reference`).
     """
-    holders = np.asarray(holders_points, dtype=float)
-    seekers = np.asarray(seekers_points, dtype=float)
-    if holders.ndim != 2 or seekers.ndim != 2:
-        raise ValueError("point arrays must be two-dimensional (n, d)")
+    return blocking_from_engine(
+        psd.compile(),
+        holders_points,
+        seekers_points,
+        matching_distance,
+        count_threshold=count_threshold,
+        workers=workers,
+        seeker_chunk=seeker_chunk,
+    )
+
+
+def blocking_reference(
+    psd: PrivateSpatialDecomposition,
+    holders_points: np.ndarray,
+    seekers_points: np.ndarray,
+    matching_distance: float,
+    count_threshold: float = 0.0,
+) -> BlockingResult:
+    """The seed-era blocking evaluation, kept as the executable reference.
+
+    Walks pointer-tree leaves and scans every seeker against every holder —
+    O(leaves * |B| + |A| * |B|) with Python-loop constants, fine up to ~10^4
+    records per party.  :func:`blocking_from_engine` reproduces these values
+    bitwise; parity tests and :mod:`benchmarks.bench_matching_scale` hold the
+    fast path to this implementation.
+
+    A leaf survives if its released count exceeds ``count_threshold``; each
+    of B's records is then a candidate against the records A contributes for
+    that leaf.  A pads every surviving block with dummy records up to the
+    released noisy count, which is exactly why a fine-grained
+    data-independent grid with small per-leaf budgets performs poorly here:
+    noise alone makes thousands of empty cells survive, and every one of
+    them ships dummy records into the SMC.
+    """
+    holders, seekers = _validate_parties(holders_points, seekers_points)
     total_pairs = holders.shape[0] * seekers.shape[0]
     if total_pairs == 0:
         return BlockingResult(1.0, 0, 0, 1.0, 0)
@@ -202,13 +347,39 @@ def record_matching_experiment(
     matching_distance: float = 0.01,
     methods: Sequence[str] = ("quad-baseline", "kd-noisymean", "kd-standard"),
     rng: RngLike = None,
-) -> Dict[str, List[Tuple[float, BlockingResult]]]:
-    """The Figure 7(b) sweep: reduction ratio vs privacy budget per method."""
-    gen = ensure_rng(rng)
-    results: Dict[str, List[Tuple[float, BlockingResult]]] = {m: [] for m in methods}
+    workers: Optional[int] = None,
+    scorer: str = "fast",
+) -> List[MatchingOutcome]:
+    """The Figure 7(b) sweep: one :class:`MatchingOutcome` per (epsilon,
+    method) pair, in sweep order (epsilons outer, methods inner).
+
+    RNG contract: every *distinct* ``(epsilon, method)`` pair gets its own
+    ``SeedSequence.spawn`` child stream, derived in sorted-pair order — so
+    reordering ``methods`` or ``epsilons`` never changes any pair's released
+    bits, exactly as ``run_sweep`` guarantees for its cases.  Repeating a
+    pair (e.g. ``methods=("kd", "kd")``) is allowed and yields one row per
+    occurrence: occurrences consume the pair's stream in order, giving
+    deterministic independent repetitions rather than the silent dict
+    collapse of earlier versions.
+
+    ``scorer`` selects ``"fast"`` (:func:`blocking_from_psd`, the vectorised
+    engine path honouring ``workers``) or ``"reference"``
+    (:func:`blocking_reference`); both produce identical results.
+    """
+    if scorer not in ("fast", "reference"):
+        raise ValueError(f"scorer must be 'fast' or 'reference', got {scorer!r}")
+    pairs = sorted({(float(epsilon), str(method)) for epsilon in epsilons for method in methods})
+    streams = dict(zip(pairs, spawn_generators(rng, len(pairs))))
+    rows: List[MatchingOutcome] = []
     for epsilon in epsilons:
         for method in methods:
+            gen = streams[(float(epsilon), str(method))]
             psd = build_blocking_tree(holders_points, domain, height, epsilon, method=method, rng=gen)
-            outcome = blocking_from_psd(psd, holders_points, seekers_points, matching_distance)
-            results[method].append((float(epsilon), outcome))
-    return results
+            if scorer == "reference":
+                outcome = blocking_reference(psd, holders_points, seekers_points, matching_distance)
+            else:
+                outcome = blocking_from_psd(
+                    psd, holders_points, seekers_points, matching_distance, workers=workers
+                )
+            rows.append(MatchingOutcome(str(method), float(epsilon), outcome))
+    return rows

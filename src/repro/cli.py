@@ -406,7 +406,7 @@ _EXPERIMENTS = {
         ["method", "build_time_sec", "n_points"],
     ),
     "fig7b": lambda args, scale: (
-        run_fig7b(n_per_party=max(scale.n_points // 10, 1000), rng=args.seed),
+        run_fig7b(scale=scale, rng=args.seed, workers=args.workers),
         ["method", "epsilon", "reduction_ratio", "pairs_completeness"],
     ),
 }
@@ -562,9 +562,9 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--epsilons", type=float, nargs="+", default=(0.5,))
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument("--workers", type=int, default=None,
-                            help="fan sweep cases across this many processes "
-                                 "(fig3/fig5/fig6; -1 = all cores; rows are bitwise "
-                                 "identical for any worker count)")
+                            help="fan work across this many processes (fig3/fig5/fig6 "
+                                 "sweep cases, fig7b seeker chunks; -1 = all cores; rows "
+                                 "are bitwise identical for any worker count)")
     _add_obs_args(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 

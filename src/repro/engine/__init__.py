@@ -68,6 +68,7 @@ from .flat import (
     invalidate_compiled_engine,
 )
 from .io import ENGINE_FORMATS, detect_engine_format, load_engine, save_engine
+from .points import CellJoinIndex, PointGrid, matching_cell_layout
 from .store import (
     PRECISIONS,
     engine_with_precision,
@@ -90,6 +91,9 @@ __all__ = [
     "QueryCache",
     "CachedEngine",
     "canonical_rect_key",
+    "CellJoinIndex",
+    "PointGrid",
+    "matching_cell_layout",
     "save_engine",
     "load_engine",
     "detect_engine_format",

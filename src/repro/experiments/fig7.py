@@ -74,13 +74,16 @@ def run_fig7a(
 
 
 def run_fig7b(
-    n_per_party: int = 20_000,
+    n_per_party: Optional[int] = None,
     epsilons: Sequence[float] = PAPER_RECORD_MATCHING_EPSILONS,
-    height: int = 6,
+    height: Optional[int] = None,
     matching_distance: float = 0.05,
     overlap: float = 0.5,
     domain: Domain = TIGER_DOMAIN,
     rng: RngLike = 0,
+    scale: Optional[ExperimentScale] = None,
+    workers: Optional[int] = None,
+    scorer: str = "fast",
 ) -> List[Dict[str, object]]:
     """The record-matching sweep of Figure 7(b).
 
@@ -88,7 +91,18 @@ def run_fig7b(
     structure (``overlap`` controls the fraction of party B drawn from party
     A's neighbourhoods, i.e. the true matches).  Returns one row per
     (method, epsilon) with the reduction ratio and pairs completeness.
+
+    ``scale`` supplies defaults when ``n_per_party``/``height`` are not
+    given (a tenth of ``scale.n_points`` per party at ``scale.kd_height`` —
+    ``--scale paper`` puts 163k records on each side); ``workers`` fans the
+    candidate scoring across processes with bitwise-identical results, and
+    ``scorer`` selects the vectorised path (``"fast"``) or the seed-era
+    reference loop (``"reference"``), which agree value-for-value.
     """
+    if n_per_party is None:
+        n_per_party = max(scale.n_points // 10, 1000) if scale is not None else 20_000
+    if height is None:
+        height = scale.kd_height if scale is not None else 6
     gen = ensure_rng(rng)
     holders = gaussian_cluster_points(n_per_party, domain, n_clusters=12, spread=0.03, rng=gen)
 
@@ -100,18 +114,17 @@ def run_fig7b(
 
     results = record_matching_experiment(
         holders, seekers, domain, epsilons=epsilons, height=height,
-        matching_distance=matching_distance, rng=gen,
+        matching_distance=matching_distance, rng=gen, workers=workers, scorer=scorer,
     )
     rows: List[Dict[str, object]] = []
-    for method, series in results.items():
-        for epsilon, outcome in series:
-            rows.append(
-                {
-                    "method": method,
-                    "epsilon": float(epsilon),
-                    "reduction_ratio": outcome.reduction_ratio,
-                    "pairs_completeness": outcome.pairs_completeness,
-                    "surviving_leaves": outcome.surviving_leaves,
-                }
-            )
+    for row in results:
+        rows.append(
+            {
+                "method": row.method,
+                "epsilon": row.epsilon,
+                "reduction_ratio": row.result.reduction_ratio,
+                "pairs_completeness": row.result.pairs_completeness,
+                "surviving_leaves": row.result.surviving_leaves,
+            }
+        )
     return rows

@@ -12,15 +12,19 @@ allows.  This package scales *across* cores without touching those kernels:
   ``run_sweep(..., workers=N)``: each case runs on its own spawned child RNG
   stream, so ``workers=N`` is bitwise identical to ``workers=1`` for every N;
 * :mod:`repro.parallel.serve` — a sharded query server that fans chunks of a
-  query batch across a worker pool over one shared compiled engine.
+  query batch across a worker pool over one shared compiled engine;
+* :mod:`repro.parallel.matching` — seeker-chunk fan-out for the record
+  matching scorer: exact integer partials summed in the parent, so
+  ``workers=N`` reproduces ``workers=1`` bitwise.
 
 Everything here keeps a hard determinism contract: parallelism changes
 *where* work runs, never *what* it computes.
 """
 
+from .matching import score_seeker_chunks
 from .serve import ShardedQueryServer
 from .shm import SharedArena, attach_array, dumps_shared, loads_shared
-from .sweep import engine_from_structure, run_cases_parallel
+from .sweep import engine_from_structure, resolve_workers, run_cases_parallel
 
 __all__ = [
     "SharedArena",
@@ -29,5 +33,7 @@ __all__ = [
     "dumps_shared",
     "loads_shared",
     "engine_from_structure",
+    "resolve_workers",
     "run_cases_parallel",
+    "score_seeker_chunks",
 ]

@@ -1,0 +1,131 @@
+"""Tests for counting-Bloom-filter multi-party blocking (applications.cbf)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.applications.cbf import (
+    CBFBlockingResult,
+    CountingBloomFilter,
+    cbf_blocking,
+    cbf_candidate_cells,
+    grid_cell_keys,
+    party_filter,
+)
+from repro.data import gaussian_cluster_points
+from repro.geometry import Domain
+
+
+@pytest.fixture(scope="module")
+def domain():
+    return Domain.unit(2)
+
+
+class TestCountingBloomFilter:
+    def test_noiseless_query_never_undercounts(self):
+        rng = np.random.default_rng(0)
+        keys = rng.choice(10_000, size=200, replace=False)
+        counts = rng.integers(1, 50, size=200).astype(float)
+        cbf = CountingBloomFilter(n_counters=1024, n_hashes=3, seed=1)
+        cbf.add(keys, counts)
+        estimates = cbf.query(keys)
+        assert np.all(estimates >= counts)  # collisions only ever add
+
+    def test_absent_keys_usually_zero(self):
+        cbf = CountingBloomFilter(n_counters=4096, n_hashes=4, seed=2)
+        cbf.add(np.arange(20), np.ones(20))
+        absent = cbf.query(np.arange(1000, 1100))
+        # min over 4 independent positions in a sparse filter: typically 0.
+        assert np.count_nonzero(absent) <= 5
+
+    def test_seed_changes_layout_but_not_totals(self):
+        keys = np.arange(50)
+        counts = np.ones(50)
+        one = CountingBloomFilter(n_counters=512, n_hashes=2, seed=3).add(keys, counts)
+        two = CountingBloomFilter(n_counters=512, n_hashes=2, seed=4).add(keys, counts)
+        assert not np.array_equal(one.counters, two.counters)
+        assert one.counters.sum() == two.counters.sum() == 100.0
+
+    def test_laplace_noise_is_deterministic_per_stream(self):
+        def build(rng):
+            cbf = CountingBloomFilter(n_counters=256, n_hashes=3, seed=5)
+            cbf.add(np.arange(10), np.ones(10))
+            return cbf.add_laplace_noise(0.5, rng)
+
+        a = build(np.random.default_rng(6))
+        b = build(np.random.default_rng(6))
+        assert np.array_equal(a.counters, b.counters)
+
+    def test_validation(self):
+        cbf = CountingBloomFilter(n_counters=64, n_hashes=2)
+        with pytest.raises(ValueError):
+            cbf.add(np.arange(3), np.array([1.0, -1.0, 2.0]))
+        with pytest.raises(ValueError):
+            cbf.add_laplace_noise(0.0)
+        with pytest.raises(ValueError):
+            CountingBloomFilter(n_counters=0)
+        with pytest.raises(ValueError):
+            CountingBloomFilter(n_hashes=0)
+
+
+class TestGridKeys:
+    def test_top_edges_closed(self, domain):
+        points = np.array([[1.0, 1.0], [0.0, 0.0], [0.999, 0.0]])
+        keys = grid_cell_keys(points, domain, (4, 4))
+        assert keys.tolist() == [15, 0, 12]
+
+    def test_shape_validation(self, domain):
+        with pytest.raises(ValueError):
+            grid_cell_keys(np.zeros((3, 2)), domain, (4,))
+        with pytest.raises(ValueError):
+            grid_cell_keys(np.zeros((3, 3)), domain, (4, 4))
+
+
+class TestMultiPartyBlocking:
+    @pytest.fixture(scope="class")
+    def parties(self, domain):
+        rng = np.random.default_rng(11)
+        base = gaussian_cluster_points(2_000, domain, n_clusters=4, spread=0.03, rng=rng)
+        shifted = domain.clip_points(base + rng.normal(scale=0.005, size=base.shape))
+        third = domain.clip_points(base + rng.normal(scale=0.005, size=base.shape))
+        return [base, shifted, third]
+
+    def test_decision_consumes_only_filters(self, domain, parties):
+        # The coordinator-side intersection takes published filters; a party's
+        # raw points never cross that boundary.
+        filters = [
+            party_filter(points, domain, (16, 16), epsilon=None, seed=7)
+            for points in parties
+        ]
+        cells, estimates = cbf_candidate_cells(filters, 256, count_threshold=0.0)
+        assert estimates.shape == (3, cells.size)
+        # Noiseless: candidate cells must cover every truly shared cell.
+        shared = set(grid_cell_keys(parties[0], domain, (16, 16)))
+        for points in parties[1:]:
+            shared &= set(grid_cell_keys(points, domain, (16, 16)))
+        assert shared <= set(cells.tolist())
+
+    def test_blocking_result_shape(self, domain, parties):
+        result = cbf_blocking(parties, domain, grid_shape=(16, 16), epsilon=0.5, rng=12)
+        assert isinstance(result, CBFBlockingResult)
+        assert result.total_pairs == 2_000 ** 3
+        assert result.candidate_pairs >= 0
+        assert result.reduction_ratio <= 1.0
+        assert result.surviving_cells == result.candidate_cells.size
+        assert result.estimates.shape == (3, result.surviving_cells)
+
+    def test_deterministic_and_party_order_independent_noise(self, domain, parties):
+        first = cbf_blocking(parties, domain, grid_shape=(16, 16), epsilon=0.5, rng=13)
+        second = cbf_blocking(parties, domain, grid_shape=(16, 16), epsilon=0.5, rng=13)
+        assert first.candidate_pairs == second.candidate_pairs
+        assert np.array_equal(first.candidate_cells, second.candidate_cells)
+
+    def test_blocking_reduces_work_on_clustered_data(self, domain, parties):
+        result = cbf_blocking(parties[:2], domain, grid_shape=(16, 16), epsilon=1.0,
+                              count_threshold=1.0, rng=14)
+        assert result.reduction_ratio > 0.5
+
+    def test_requires_two_parties(self, domain, parties):
+        with pytest.raises(ValueError):
+            cbf_blocking(parties[:1], domain)

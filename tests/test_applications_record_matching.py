@@ -7,7 +7,10 @@ import pytest
 
 from repro.applications import (
     BlockingResult,
+    MatchingOutcome,
+    blocking_from_engine,
     blocking_from_psd,
+    blocking_reference,
     build_blocking_tree,
     record_matching_experiment,
 )
@@ -89,22 +92,112 @@ class TestBlockingFromPsd:
         assert results[1.0].reduction_ratio >= results[0.05].reduction_ratio - 0.02
 
 
+class TestFastScorerParity:
+    """The vectorised engine path must reproduce the seed-era loop bitwise."""
+
+    @pytest.mark.parametrize("method,epsilon,threshold,distance", [
+        ("quad-baseline", 0.1, 0.0, 0.05),
+        ("kd-noisymean", 0.3, 0.0, 0.02),
+        ("kd-standard", 0.5, 0.0, 0.01),
+        ("kd-standard", 0.05, 2.0, 0.1),
+        ("quad-baseline", 0.5, -5.0, 0.0),
+    ])
+    def test_engine_matches_reference(self, domain, parties, method, epsilon, threshold, distance):
+        holders, seekers = parties
+        psd = build_blocking_tree(holders, domain, height=4, epsilon=epsilon, method=method, rng=9)
+        engine = psd.compile()
+        fast = blocking_from_engine(engine, holders, seekers, distance, count_threshold=threshold)
+        ref = blocking_reference(psd, holders, seekers, distance, count_threshold=threshold)
+        assert fast == ref  # exact, field for field
+
+    def test_workers_bitwise_parity(self, domain, parties):
+        holders, seekers = parties
+        psd = build_blocking_tree(holders, domain, height=4, epsilon=0.5, rng=10)
+        engine = psd.compile()
+        one = blocking_from_engine(engine, holders, seekers, 0.01, workers=1)
+        # Small chunks force many tasks; results must not depend on either.
+        many = blocking_from_engine(engine, holders, seekers, 0.01, workers=2, seeker_chunk=257)
+        assert one == many
+
+    def test_empty_seekers_through_engine(self, domain, parties):
+        holders, _ = parties
+        psd = build_blocking_tree(holders, domain, height=3, epsilon=0.5, rng=11)
+        result = blocking_from_engine(psd.compile(), holders, np.empty((0, 2)), 0.01)
+        assert result == BlockingResult(1.0, 0, 0, 1.0, 0)
+
+
 class TestExperimentSweep:
     def test_sweep_structure(self, domain, parties):
         holders, seekers = parties
         out = record_matching_experiment(holders, seekers, domain, epsilons=(0.1, 0.3),
                                          height=4, matching_distance=0.01,
                                          methods=("kd-standard", "kd-noisymean"), rng=7)
-        assert set(out) == {"kd-standard", "kd-noisymean"}
-        for series in out.values():
-            assert [e for e, _ in series] == [0.1, 0.3]
-            for _, result in series:
-                assert isinstance(result, BlockingResult)
+        assert [(row.method, row.epsilon) for row in out] == [
+            ("kd-standard", 0.1), ("kd-noisymean", 0.1),
+            ("kd-standard", 0.3), ("kd-noisymean", 0.3),
+        ]
+        for row in out:
+            assert isinstance(row, MatchingOutcome)
+            assert isinstance(row.result, BlockingResult)
 
     def test_kd_standard_beats_noisymean_on_average(self, domain, parties):
         holders, seekers = parties
         out = record_matching_experiment(holders, seekers, domain, epsilons=(0.1, 0.3, 0.5),
                                          height=4, matching_distance=0.01,
                                          methods=("kd-standard", "kd-noisymean"), rng=8)
-        mean_rr = {m: np.mean([r.reduction_ratio for _, r in series]) for m, series in out.items()}
-        assert mean_rr["kd-standard"] > mean_rr["kd-noisymean"] - 0.05
+        mean_rr = {}
+        for row in out:
+            mean_rr.setdefault(row.method, []).append(row.result.reduction_ratio)
+        assert np.mean(mean_rr["kd-standard"]) > np.mean(mean_rr["kd-noisymean"]) - 0.05
+
+    def test_method_order_is_irrelevant(self, domain, parties):
+        """Each (epsilon, method) pair owns a spawned stream: reordering the
+        sweep must not change any pair's released bits."""
+        holders, seekers = parties
+        kwargs = dict(epsilons=(0.1, 0.3), height=4, matching_distance=0.01, rng=12)
+        forward = record_matching_experiment(
+            holders, seekers, domain, methods=("kd-standard", "kd-noisymean", "quad-baseline"),
+            **kwargs)
+        backward = record_matching_experiment(
+            holders, seekers, domain, methods=("quad-baseline", "kd-noisymean", "kd-standard"),
+            **kwargs)
+        by_pair = lambda rows: {(r.method, r.epsilon): r.result for r in rows}  # noqa: E731
+        assert by_pair(forward) == by_pair(backward)
+
+    def test_epsilon_order_is_irrelevant(self, domain, parties):
+        holders, seekers = parties
+        kwargs = dict(height=4, matching_distance=0.01, methods=("kd-standard",), rng=13)
+        forward = record_matching_experiment(holders, seekers, domain, epsilons=(0.1, 0.5), **kwargs)
+        backward = record_matching_experiment(holders, seekers, domain, epsilons=(0.5, 0.1), **kwargs)
+        by_pair = lambda rows: {(r.method, r.epsilon): r.result for r in rows}  # noqa: E731
+        assert by_pair(forward) == by_pair(backward)
+
+    def test_duplicate_methods_keep_one_row_each(self, domain, parties):
+        """``methods=("kd", "kd")`` used to collapse through a dict; now every
+        occurrence yields its own row, the first identical to a solo run."""
+        holders, seekers = parties
+        kwargs = dict(epsilons=(0.3,), height=4, matching_distance=0.01, rng=14)
+        doubled = record_matching_experiment(
+            holders, seekers, domain, methods=("kd-standard", "kd-standard"), **kwargs)
+        solo = record_matching_experiment(
+            holders, seekers, domain, methods=("kd-standard",), **kwargs)
+        assert len(doubled) == 2
+        assert doubled[0].result == solo[0].result
+        # The second occurrence continues the pair's stream: deterministic,
+        # but an independent repetition (a fresh noisy tree).
+        again = record_matching_experiment(
+            holders, seekers, domain, methods=("kd-standard", "kd-standard"), **kwargs)
+        assert [row.result for row in doubled] == [row.result for row in again]
+
+    def test_reference_scorer_matches_fast(self, domain, parties):
+        holders, seekers = parties
+        kwargs = dict(epsilons=(0.3,), height=4, matching_distance=0.01,
+                      methods=("kd-standard", "quad-baseline"), rng=15)
+        fast = record_matching_experiment(holders, seekers, domain, scorer="fast", **kwargs)
+        ref = record_matching_experiment(holders, seekers, domain, scorer="reference", **kwargs)
+        assert fast == ref
+
+    def test_unknown_scorer_rejected(self, domain, parties):
+        holders, seekers = parties
+        with pytest.raises(ValueError):
+            record_matching_experiment(holders, seekers, domain, epsilons=(0.3,), scorer="turbo")

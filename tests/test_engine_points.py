@@ -1,0 +1,165 @@
+"""Property tests for the exact point-grid kernels (repro.engine.points).
+
+Everything here is asserted **bitwise**: the grid structures are exact
+accelerators, so any drift from the brute force — one count, one mask bit,
+one matched pair — is a bug, not a tolerance question.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.points import CellJoinIndex, PointGrid, matching_cell_layout
+
+
+def brute_counts(points, lo, hi):
+    out = np.zeros(lo.shape[0], dtype=np.int64)
+    for i in range(lo.shape[0]):
+        if points.shape[0]:
+            inside = np.all(points >= lo[i], axis=1) & np.all(points <= hi[i], axis=1)
+            out[i] = int(np.count_nonzero(inside))
+    return out
+
+
+def brute_mask(points, lo, hi):
+    mask = np.zeros(points.shape[0], dtype=bool)
+    for i in range(lo.shape[0]):
+        mask |= np.all(points >= lo[i], axis=1) & np.all(points <= hi[i], axis=1)
+    return mask
+
+
+def brute_join(a, b, distance, a_mask):
+    total = kept = 0
+    for j in range(b.shape[0]):
+        if a.shape[0] == 0:
+            break
+        matches = np.max(np.abs(a - b[j]), axis=1) <= distance
+        total += int(np.count_nonzero(matches))
+        kept += int(np.count_nonzero(matches & a_mask))
+    return total, kept
+
+
+class TestPointGrid:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_counts_and_mask_match_bruteforce(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(0, 400))
+        n_rects = int(rng.integers(0, 60))
+        dims = int(rng.integers(1, 4))
+        points = rng.random((n, dims)) * rng.uniform(0.1, 50.0) + rng.uniform(-25.0, 25.0)
+        if seed % 3 == 0 and n:
+            points = np.round(points, 1)  # snap onto cell-boundary-prone values
+        lo = rng.uniform(-30.0, 30.0, (n_rects, dims))
+        hi = lo + rng.uniform(-1.0, 40.0, (n_rects, dims))  # includes inverted rects
+        grid = PointGrid.build(points)
+        assert np.array_equal(grid.count_in_rects(lo, hi), brute_counts(points, lo, hi))
+        assert np.array_equal(grid.mask_in_rects(lo, hi), brute_mask(points, lo, hi))
+
+    def test_rect_edges_are_closed_both_sides(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.5], [1.0, 0.0]])
+        grid = PointGrid.build(points)
+        lo = np.array([[0.0, 0.0]])
+        hi = np.array([[1.0, 1.0]])
+        assert grid.count_in_rects(lo, hi)[0] == 4
+        # Degenerate rect: a single point, still closed containment.
+        assert grid.count_in_rects(np.array([[1.0, 1.0]]), np.array([[1.0, 1.0]]))[0] == 1
+
+    def test_rects_far_outside_grid(self):
+        points = np.random.default_rng(3).random((100, 2))
+        grid = PointGrid.build(points)
+        lo = np.array([[1e6, 1e6], [-1e7, -1e7], [-1e7, -1e7]])
+        hi = np.array([[2e6, 2e6], [-1e6, -1e6], [1e7, 1e7]])
+        assert grid.count_in_rects(lo, hi).tolist() == [0, 0, 100]
+
+    def test_small_rect_blocks_match_single_pass(self):
+        rng = np.random.default_rng(9)
+        points = rng.random((500, 2))
+        lo = rng.random((40, 2)) - 0.1
+        hi = lo + rng.random((40, 2)) * 0.5
+        grid = PointGrid.build(points)
+        assert np.array_equal(grid.count_in_rects(lo, hi, rect_block=3),
+                              grid.count_in_rects(lo, hi))
+        assert np.array_equal(grid.mask_in_rects(lo, hi, rect_block=3),
+                              grid.mask_in_rects(lo, hi))
+
+    def test_empty_inputs(self):
+        grid = PointGrid.build(np.empty((0, 2)))
+        lo = np.array([[0.0, 0.0]])
+        hi = np.array([[1.0, 1.0]])
+        assert grid.count_in_rects(lo, hi).tolist() == [0]
+        assert grid.mask_in_rects(lo, hi).shape == (0,)
+        populated = PointGrid.build(np.random.default_rng(0).random((10, 2)))
+        nothing = np.empty((0, 2))
+        assert populated.count_in_rects(nothing, nothing).shape == (0,)
+        assert not populated.mask_in_rects(nothing, nothing).any()
+
+
+class TestNeighborJoin:
+    """Satellite: join completeness == brute-force completeness, always."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_join_matches_bruteforce(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n_a = int(rng.integers(0, 150))
+        n_b = int(rng.integers(0, 150))
+        dims = int(rng.integers(1, 4))
+        distance = float(rng.choice([0.0, 1e-12, 0.01, 0.05, 0.5, 2.0, 1e6]))
+        a = rng.random((n_a, dims))
+        b = rng.random((n_b, dims))
+        if seed % 4 == 0 and distance > 0:
+            # Points exactly on cell boundaries (integer multiples of the side).
+            a = np.floor(a / distance) * distance if distance <= 1 else a
+        a_mask = rng.random(n_a) < 0.5
+        origin, side, extents = matching_cell_layout(a, b, distance)
+        index = CellJoinIndex.build(a, origin, side, extents)
+        assert index.join_count(b, distance, a_mask) == brute_join(a, b, distance, a_mask)
+
+    def test_zero_matches(self):
+        a = np.zeros((10, 2))
+        b = np.ones((10, 2)) * 100.0
+        origin, side, extents = matching_cell_layout(a, b, 0.5)
+        index = CellJoinIndex.build(a, origin, side, extents)
+        assert index.join_count(b, 0.5, np.ones(10, dtype=bool)) == (0, 0)
+
+    def test_all_match(self):
+        rng = np.random.default_rng(7)
+        a = rng.random((30, 2))
+        b = rng.random((20, 2))
+        origin, side, extents = matching_cell_layout(a, b, 10.0)
+        index = CellJoinIndex.build(a, origin, side, extents)
+        mask = np.zeros(30, dtype=bool)
+        mask[:11] = True
+        assert index.join_count(b, 10.0, mask) == (600, 220)
+
+    def test_empty_sides(self):
+        a = np.random.default_rng(1).random((5, 2))
+        empty = np.empty((0, 2))
+        origin, side, extents = matching_cell_layout(a, empty, 0.1)
+        index = CellJoinIndex.build(a, origin, side, extents)
+        assert index.join_count(empty, 0.1, np.ones(5, dtype=bool)) == (0, 0)
+        origin, side, extents = matching_cell_layout(empty, a, 0.1)
+        assert CellJoinIndex.build(empty, origin, side, extents).join_count(a, 0.1, None) == (0, 0)
+
+    def test_identical_points_distance_zero(self):
+        a = np.array([[0.25, 0.75]] * 4 + [[0.5, 0.5]])
+        b = np.array([[0.25, 0.75], [0.5, 0.5], [0.5, 0.50001]])
+        origin, side, extents = matching_cell_layout(a, b, 0.0)
+        index = CellJoinIndex.build(a, origin, side, extents)
+        mask = np.array([True, False, True, False, True])
+        assert index.join_count(b, 0.0, mask) == brute_join(a, b, 0.0, mask)
+
+    def test_no_mask_reports_total_twice(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.random((40, 2)), rng.random((40, 2))
+        origin, side, extents = matching_cell_layout(a, b, 0.2)
+        index = CellJoinIndex.build(a, origin, side, extents)
+        total, kept = index.join_count(b, 0.2, None)
+        assert total == kept == brute_join(a, b, 0.2, np.ones(40, dtype=bool))[0]
+
+    def test_dimension_mismatch_rejected(self):
+        a = np.zeros((3, 2))
+        origin, side, extents = matching_cell_layout(a, a, 0.1)
+        index = CellJoinIndex.build(a, origin, side, extents)
+        with pytest.raises(ValueError):
+            index.join_count(np.zeros((3, 3)), 0.1, None)
