@@ -1,0 +1,205 @@
+"""Crash-safe sweeps: checkpoint journaling overhead and resume parity.
+
+Not a paper figure — this benchmark tracks the robustness layer wrapped
+around :func:`~repro.experiments.common.run_sweep`: a ``checkpoint=`` journal
+records every completed :class:`~repro.experiments.common.SweepCase` so a
+killed sweep resumes by replaying finished cases and recomputing only the
+rest.  The contracts measured here:
+
+* **journaling overhead** — a checkpointed run must produce rows bitwise
+  identical to an uncheckpointed run, and the fsync-per-case journal cost is
+  recorded as a percentage so regressions show up in the checked-in JSON;
+* **resume parity** — a journal truncated to half its case records (the
+  crash shape: header plus a prefix of completed cases) must resume to rows
+  bitwise identical to the uninterrupted reference, replaying the journaled
+  half instead of recomputing it;
+* **fault-tolerant parity** — the same grid run under deterministic
+  ``kill-worker`` fault injection (workers die mid-case, the pool is rebuilt,
+  lost cases are resubmitted) must still match the reference float for float.
+
+Runnable three ways:
+
+* ``pytest benchmarks/bench_checkpoint_resume.py`` — benchmark row plus a
+  table under ``benchmarks/results/``;
+* ``python benchmarks/bench_checkpoint_resume.py --output BENCH_checkpoint.json``;
+* ``python benchmarks/bench_checkpoint_resume.py --smoke`` — the CI gate:
+  tiny grid, parity asserted, no overhead ceiling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Sequence
+
+import numpy as np
+
+from hostmeta import host_metadata, write_bench_json
+from repro.core.flatbuild import build_flat_structure
+from repro.core.splits import QuadSplit
+from repro.data import road_intersections
+from repro.experiments.common import run_sweep
+from repro.experiments.fig3 import quadtree_sweep_case
+from repro.geometry import TIGER_DOMAIN
+from repro.queries.workload import PAPER_QUERY_SHAPES, generate_workload
+
+VARIANTS = ("quad-baseline", "quad-opt", "quad-geo", "quad-post")
+
+
+def make_inputs(n_points: int, n_queries: int, height: int, seed: int = 0):
+    gen = np.random.default_rng(seed)
+    points = road_intersections(n=n_points, rng=gen)
+    workloads = {
+        shape.label: generate_workload(points, TIGER_DOMAIN, shape,
+                                       n_queries=n_queries, rng=gen)
+        for shape in PAPER_QUERY_SHAPES[:2]
+    }
+    structure = build_flat_structure(points, TIGER_DOMAIN, height, QuadSplit(), 0.0)
+    return points, workloads, structure
+
+
+def make_cases(points, structure, height: int, epsilons: Sequence[float],
+               repetitions: int):
+    return [
+        quadtree_sweep_case(points, TIGER_DOMAIN, height, (epsilon,), repetitions,
+                            variant, structure)
+        for variant in VARIANTS
+        for epsilon in epsilons
+    ]
+
+
+def truncate_journal(path: Path, keep_cases: int) -> int:
+    """Cut the journal to its header plus the first ``keep_cases`` records.
+
+    This is exactly the shape a SIGKILL leaves behind (the journal is
+    append-only with one fsync'd line per completed case), minus the torn
+    tail — torn tails are covered by tests/test_checkpoint.py.
+    """
+    lines = path.read_bytes().splitlines(keepends=True)
+    kept = lines[:1 + keep_cases]
+    path.write_bytes(b"".join(kept))
+    return len(lines) - 1  # total case records before the cut
+
+
+def run_benchmark(n_points: int, n_queries: int, height: int,
+                  epsilons: Sequence[float], repetitions: int,
+                  workers: int, seed: int = 0) -> Dict[str, object]:
+    points, workloads, structure = make_inputs(n_points, n_queries, height, seed)
+    cases = make_cases(points, structure, height, epsilons, repetitions)
+
+    with tempfile.TemporaryDirectory(prefix="bench_ck_") as tmp:
+        tmp_dir = Path(tmp)
+
+        start = time.perf_counter()
+        reference = run_sweep(cases, workloads, rng=seed, workers=workers)
+        plain_sec = time.perf_counter() - start
+
+        journal = tmp_dir / "sweep.ck.jsonl"
+        start = time.perf_counter()
+        journaled = run_sweep(cases, workloads, rng=seed, workers=workers,
+                              checkpoint=str(journal))
+        journaled_sec = time.perf_counter() - start
+        if journaled != reference:
+            raise AssertionError("checkpointed rows diverge from plain run (bitwise)")
+
+        keep = len(cases) // 2
+        total_records = truncate_journal(journal, keep)
+        if total_records != len(cases):
+            raise AssertionError(
+                f"journal holds {total_records} case records, expected {len(cases)}")
+        start = time.perf_counter()
+        resumed = run_sweep(cases, workloads, rng=seed, workers=workers,
+                            checkpoint=str(journal))
+        resume_sec = time.perf_counter() - start
+        if resumed != reference:
+            raise AssertionError("resumed rows diverge from uninterrupted run (bitwise)")
+
+        faulted_journal = tmp_dir / "sweep.faulted.ck.jsonl"
+        start = time.perf_counter()
+        faulted = run_sweep(cases, workloads, rng=seed, workers=workers,
+                            checkpoint=str(faulted_journal), faults="kill-worker:3")
+        faulted_sec = time.perf_counter() - start
+        if faulted != reference:
+            raise AssertionError("kill-worker rows diverge from fault-free run (bitwise)")
+
+    overhead = (journaled_sec - plain_sec) / plain_sec if plain_sec > 0 else 0.0
+    return {
+        "n_points": n_points,
+        "n_queries_per_shape": n_queries,
+        "height": height,
+        "epsilons": list(epsilons),
+        "repetitions": repetitions,
+        "cases": len(cases),
+        "workers": workers,
+        "plain_sec": round(plain_sec, 4),
+        "journaled_sec": round(journaled_sec, 4),
+        "journal_overhead_pct": round(100.0 * overhead, 2),
+        "resumed_cases_replayed": keep,
+        "resume_sec": round(resume_sec, 4),
+        "resume_speedup": round(plain_sec / resume_sec, 2) if resume_sec > 0 else float("inf"),
+        "faulted_sec": round(faulted_sec, 4),
+        "checkpoint_parity": True,
+        "resume_parity": True,
+        "fault_parity": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate: tiny grid, parity asserted, no overhead gate")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=None,
+                        help="write the result as JSON (e.g. BENCH_checkpoint.json)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        config = dict(n_points=6_000, n_queries=12, height=5,
+                      epsilons=(0.5, 1.0), repetitions=2)
+    else:
+        config = dict(n_points=40_000, n_queries=40, height=7,
+                      epsilons=(0.1, 0.5, 1.0), repetitions=4)
+
+    result = run_benchmark(workers=max(2, args.workers), seed=args.seed, **config)
+    result["mode"] = "smoke" if args.smoke else "full"
+    result["host"] = host_metadata()
+
+    print(json.dumps(result, indent=2))
+    if args.output:
+        write_bench_json(args.output, result)
+
+    print(f"OK: checkpoint/resume/fault parity exact; journal overhead "
+          f"{result['journal_overhead_pct']}%, resume replayed "
+          f"{result['resumed_cases_replayed']}/{result['cases']} cases "
+          f"({result['resume_speedup']}x over full recompute)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point
+# ----------------------------------------------------------------------
+def test_checkpoint_resume(benchmark, capsys):
+    from conftest import report
+
+    result = benchmark.pedantic(
+        lambda: run_benchmark(n_points=6_000, n_queries=12, height=5,
+                              epsilons=(0.5, 1.0), repetitions=2, workers=2),
+        rounds=1,
+    )
+    report("bench_checkpoint_resume", "Checkpointed sweep: journal overhead and resume",
+           [result],
+           ["cases", "workers", "plain_sec", "journaled_sec",
+            "journal_overhead_pct", "resume_sec", "resume_speedup",
+            "checkpoint_parity", "resume_parity", "fault_parity"],
+           capsys)
+    assert result["checkpoint_parity"] and result["resume_parity"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

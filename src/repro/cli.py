@@ -288,7 +288,7 @@ def _cmd_query(args) -> int:
         fmt = "npz"  # force the engine error path for a broken .npz
     if fmt is not None:
         try:
-            engine = load_engine(args.release)
+            engine = load_engine(args.release, verify=args.verify)
         except Exception as exc:
             raise SystemExit(f"cannot load compiled engine {args.release!r}: {exc}")
     if engine is not None:
@@ -333,7 +333,7 @@ def _cmd_serve(args) -> int:
     fmt = detect_engine_format(args.release)
     if fmt is not None:
         try:
-            engine = load_engine(args.release)
+            engine = load_engine(args.release, verify=not args.no_verify)
         except Exception as exc:
             raise SystemExit(f"cannot load compiled engine {args.release!r}: {exc}")
     else:
@@ -383,10 +383,24 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+#: Figures whose runner is a crash-safe sweep (accepts --checkpoint / --fault /
+#: --case-timeout); everything else rejects those flags loudly.
+_SWEEP_FIGURES = ("fig3", "fig5", "fig6")
+
+
+def _sweep_kwargs(args) -> dict:
+    return {
+        "checkpoint": args.checkpoint,
+        "faults": args.fault,
+        "case_timeout": args.case_timeout,
+    }
+
+
 _EXPERIMENTS = {
     "fig2": lambda args, scale: (run_fig2(), ["height", "err_uniform", "err_geometric", "ratio"]),
     "fig3": lambda args, scale: (
-        run_fig3(scale=scale, epsilons=args.epsilons, rng=args.seed, workers=args.workers),
+        run_fig3(scale=scale, epsilons=args.epsilons, rng=args.seed, workers=args.workers,
+                 **_sweep_kwargs(args)),
         ["epsilon", "variant", "shape", "median_rel_error_pct"],
     ),
     "fig4": lambda args, scale: (
@@ -394,11 +408,13 @@ _EXPERIMENTS = {
         ["method", "depth", "rank_error_pct", "time_sec"],
     ),
     "fig5": lambda args, scale: (
-        run_fig5(scale=scale, epsilons=args.epsilons, rng=args.seed, workers=args.workers),
+        run_fig5(scale=scale, epsilons=args.epsilons, rng=args.seed, workers=args.workers,
+                 **_sweep_kwargs(args)),
         ["epsilon", "variant", "shape", "median_rel_error_pct"],
     ),
     "fig6": lambda args, scale: (
-        run_fig6(scale=scale, rng=args.seed, workers=args.workers),
+        run_fig6(scale=scale, rng=args.seed, workers=args.workers,
+                 **_sweep_kwargs(args)),
         ["method", "height", "shape", "median_rel_error_pct"],
     ),
     "fig7a": lambda args, scale: (
@@ -447,6 +463,14 @@ def _cmd_experiment(args) -> int:
     else:
         raise SystemExit("choose an experiment: positional name (e.g. fig3) or --figure 3")
     scale = _resolve_scale(args)
+
+    if args.checkpoint or args.fault or args.case_timeout is not None:
+        outside = [f for f in figures if f not in _SWEEP_FIGURES]
+        if outside:
+            raise SystemExit(
+                f"--checkpoint/--fault/--case-timeout apply to the sweep figures "
+                f"{'/'.join(_SWEEP_FIGURES)} only, not {'/'.join(outside)}"
+            )
 
     results = []
     for figure in figures:
@@ -518,6 +542,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="batch mode: file with one rect spec per line ('#' comments allowed)")
     query.add_argument("--engine", choices=QUERY_BACKENDS, default="recursive",
                        help="query backend for JSON releases (.npz input always uses flat)")
+    query.add_argument("--verify", action="store_true",
+                       help="check every engine array against its stored checksums "
+                            "(v2 header CRC32 / .npz adler32 sidecar) before answering")
     query.add_argument("--stats", action="store_true",
                        help="report LRU answer-cache effectiveness (hits/misses) on stderr; "
                             "flat engines only")
@@ -565,6 +592,17 @@ def build_parser() -> argparse.ArgumentParser:
                             help="fan work across this many processes (fig3/fig5/fig6 "
                                  "sweep cases, fig7b seeker chunks; -1 = all cores; rows "
                                  "are bitwise identical for any worker count)")
+    experiment.add_argument("--checkpoint", default=None, metavar="PATH",
+                            help="journal each completed sweep case to this JSONL file and "
+                                 "resume from it on re-run; a resumed sweep is bitwise "
+                                 "identical to an uninterrupted one (fig3/fig5/fig6)")
+    experiment.add_argument("--fault", action="append", default=None,
+                            help="deterministic sweep fault schedule kind:every[:param] — "
+                                 "kinds: kill-worker, slow-case, oom-worker (repeatable; "
+                                 "requires --workers > 1)")
+    experiment.add_argument("--case-timeout", type=float, default=None,
+                            help="soft per-case timeout in seconds: an overdue case is "
+                                 "resubmitted once, then runs in-process")
     _add_obs_args(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
@@ -606,6 +644,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admitted-request bound before load shedding (default 64)")
     serve.add_argument("--timeout", type=float, default=30.0,
                        help="per-request timeout in seconds (default 30)")
+    serve.add_argument("--no-verify", action="store_true",
+                       help="skip the checksum verification of compiled engine files "
+                            "(verification is the serve default; saves one O(bytes) "
+                            "scan at startup)")
     serve.add_argument("--fault", action="append", default=None,
                        help="deterministic fault schedule kind:every[:param] — kinds: "
                             "kill-worker, slow-chunk, wal-io-error, oom-worker "

@@ -71,6 +71,7 @@ from .io import ENGINE_FORMATS, detect_engine_format, load_engine, save_engine
 from .points import CellJoinIndex, PointGrid, matching_cell_layout
 from .store import (
     PRECISIONS,
+    EngineIntegrityError,
     engine_with_precision,
     load_engine_mmap,
     save_engine_mmap,
@@ -99,6 +100,7 @@ __all__ = [
     "detect_engine_format",
     "ENGINE_FORMATS",
     "PRECISIONS",
+    "EngineIntegrityError",
     "engine_with_precision",
     "save_engine_mmap",
     "load_engine_mmap",

@@ -24,7 +24,9 @@ shipping an engine file is as privacy-safe as shipping the JSON.
 from __future__ import annotations
 
 import json
+import os
 import zipfile
+import zlib
 from pathlib import Path
 from typing import IO, Optional, Union
 
@@ -34,12 +36,17 @@ from ..obs import counter_add, gauge_max, trace_span
 from .flat import FlatPSD, _freeze, level_variances
 from .store import (
     FORMAT_MAGIC,
+    EngineIntegrityError,
     engine_with_precision,
     load_engine_mmap,
     save_engine_mmap,
 )
 
 __all__ = ["save_engine", "load_engine", "detect_engine_format", "ENGINE_FORMATS"]
+
+#: Suffix of the integrity sidecar written next to every ``.npz`` engine:
+#: ``engine.npz`` gets ``engine.npz.adler32`` holding one adler32 per array.
+SIDECAR_SUFFIX = ".adler32"
 
 _FORMAT_VERSION = 1
 
@@ -122,11 +129,66 @@ def save_engine(
         # handle so the file lands exactly where the caller asked.
         with open(destination, "wb") as handle:
             np.savez_compressed(handle, meta=np.array(json.dumps(meta)), **arrays)
+        _write_npz_sidecar(Path(destination), arrays)
         return
     np.savez_compressed(destination, meta=np.array(json.dumps(meta)), **arrays)
 
 
-def _load_engine_npz(source: Union[str, Path, IO[bytes]]) -> FlatPSD:
+def _array_adler32(array: np.ndarray) -> int:
+    return zlib.adler32(np.ascontiguousarray(array).tobytes()) & 0xFFFFFFFF
+
+
+def _write_npz_sidecar(destination: Path, arrays) -> None:
+    """Stamp ``<engine>.npz.adler32`` with one checksum per stored array.
+
+    Written atomically (temp file + ``os.replace``) so a crash mid-save can
+    leave a missing sidecar — which a ``verify=True`` load reports — but
+    never a torn one that would accuse a healthy engine.
+    """
+    sidecar = destination.with_name(destination.name + SIDECAR_SUFFIX)
+    payload = {
+        "format": "npz-adler32",
+        "arrays": {name: _array_adler32(arr) for name, arr in arrays.items()},
+    }
+    tmp = sidecar.with_name(sidecar.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, sidecar)
+
+
+def _verify_npz_arrays(source: Path, arrays) -> None:
+    """Check every decompressed array against the ``.adler32`` sidecar."""
+    sidecar = source.with_name(source.name + SIDECAR_SUFFIX)
+    try:
+        with open(sidecar, "r", encoding="utf-8") as handle:
+            recorded = json.load(handle)
+    except FileNotFoundError:
+        raise EngineIntegrityError(
+            f"{source}: no integrity sidecar {sidecar.name!r}; re-save the "
+            f"engine (or load with verify=False)"
+        )
+    except (OSError, json.JSONDecodeError) as exc:
+        raise EngineIntegrityError(f"{source}: unreadable integrity sidecar: {exc}")
+    table = recorded.get("arrays") or {}
+    for name, array in arrays.items():
+        if name not in table:
+            raise EngineIntegrityError(
+                f"{source}: sidecar carries no checksum for array {name!r}"
+            )
+        actual = _array_adler32(array)
+        if actual != int(table[name]):
+            raise EngineIntegrityError(
+                f"{source}: array {name!r} is corrupted (adler32 {actual:#010x} "
+                f"!= recorded {int(table[name]):#010x})"
+            )
+
+
+def _load_engine_npz(
+    source: Union[str, Path, IO[bytes]], verify: bool = False
+) -> FlatPSD:
     """The format-v1 loader: decompress, recompute derived arrays, validate."""
     try:
         payload_ctx = np.load(source, allow_pickle=False)
@@ -153,6 +215,10 @@ def _load_engine_npz(source: Union[str, Path, IO[bytes]]) -> FlatPSD:
                 arrays[name] = np.asarray(payload[name])
             except Exception as exc:
                 raise ValueError(f"array field {name!r} is truncated or corrupt: {exc}")
+    if verify:
+        if not isinstance(source, (str, Path)):
+            raise ValueError("verify=True requires a filesystem path source")
+        _verify_npz_arrays(Path(source), arrays)
     # The derivable arrays are recomputed, never read from the file.
     arrays["level_variance"] = level_variances(arrays["count_epsilons"])
     if arrays["lo"].ndim != 2 or arrays["lo"].shape != arrays["hi"].shape:
@@ -171,7 +237,9 @@ def _load_engine_npz(source: Union[str, Path, IO[bytes]]) -> FlatPSD:
 
 
 def load_engine(
-    source: Union[str, Path, IO[bytes]], deep_validate: Optional[bool] = None
+    source: Union[str, Path, IO[bytes]],
+    deep_validate: Optional[bool] = None,
+    verify: bool = False,
 ) -> FlatPSD:
     """Load a compiled engine, dispatching on the file's magic bytes.
 
@@ -182,6 +250,13 @@ def load_engine(
     (which pages the whole file in, forfeiting the fast attach).
     File-like sources are supported for ``.npz`` only.
 
+    ``verify=True`` checks every array's bytes against the stored checksums
+    (the v2 header's per-region CRC32, or the ``.npz`` file's adler32
+    sidecar) and raises
+    :class:`~repro.engine.store.EngineIntegrityError` naming the corrupted
+    array.  ``repro serve`` verifies by default — a query server must never
+    answer from silently rotten counts.
+
     Raises :class:`ValueError` on unknown formats/versions, missing or
     truncated arrays (reported by field name) or structural-invariant
     violations (via :meth:`FlatPSD.validate`).
@@ -191,13 +266,17 @@ def load_engine(
         detected = detect_engine_format(source)
         if detected is not None:
             fmt = detected
-    with trace_span("engine.load", format=fmt):
+    with trace_span("engine.load", format=fmt, verify=verify):
         if fmt == "mmap":
-            engine = load_engine_mmap(source, deep_validate=bool(deep_validate))
+            engine = load_engine_mmap(
+                source, deep_validate=bool(deep_validate), verify=verify
+            )
         else:
-            engine = _load_engine_npz(source)
+            engine = _load_engine_npz(source, verify=verify)
             if deep_validate:  # already validated, but honour an explicit ask
                 engine.validate()
+    if verify:
+        counter_add("engine.verified_loads", format=fmt)
     counter_add("engine.loads", format=fmt)
     mapped = engine.mapped_nbytes()
     if mapped:

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 from dataclasses import replace
 from pathlib import Path
 from typing import Dict, Union
@@ -60,10 +61,22 @@ __all__ = [
     "FORMAT_MAGIC",
     "PAGE_SIZE",
     "PRECISIONS",
+    "EngineIntegrityError",
     "engine_with_precision",
     "save_engine_mmap",
     "load_engine_mmap",
 ]
+
+
+class EngineIntegrityError(ValueError):
+    """A stored engine's bytes disagree with its recorded checksums.
+
+    Raised by ``verify=True`` loads — :func:`load_engine_mmap` against the
+    per-field CRC32 values in the v2 header, :func:`repro.engine.io.load_engine`
+    against an ``.npz`` file's adler32 sidecar — naming the corrupted array,
+    so torn writes and bit rot are caught before a single query is answered
+    from bad counts.
+    """
 
 #: Leading magic bytes of a format-v2 engine file.
 FORMAT_MAGIC = b"FLATPSD2"
@@ -186,6 +199,10 @@ def save_engine_mmap(
                 "shape": list(arrays[name].shape),
                 "offset": data_start + rel[name],
                 "nbytes": int(arrays[name].nbytes),
+                # Integrity stamp over the exact bytes written below; a
+                # verify=True load recomputes it per region and names the
+                # first field whose bytes disagree.
+                "crc32": zlib.crc32(arrays[name].tobytes(order="C")) & 0xFFFFFFFF,
             }
             for name in _V2_FIELDS
         }
@@ -235,7 +252,9 @@ def _parse_header(path: Path, size: int):
     return header
 
 
-def load_engine_mmap(source: Union[str, Path], deep_validate: bool = False) -> FlatPSD:
+def load_engine_mmap(
+    source: Union[str, Path], deep_validate: bool = False, verify: bool = False
+) -> FlatPSD:
     """Attach a format-v2 engine file as memory-mapped read-only arrays.
 
     Zero-copy: no array bytes are read eagerly — the returned engine's fields
@@ -245,6 +264,12 @@ def load_engine_mmap(source: Union[str, Path], deep_validate: bool = False) -> F
     checked (a missing or truncated array is reported by name);
     ``deep_validate=True`` additionally runs the O(n) structural checks of
     :meth:`FlatPSD.validate`.
+
+    ``verify=True`` recomputes every region's CRC32 against the header stamp
+    and raises :class:`EngineIntegrityError` naming the first corrupted
+    array.  It pages the whole file in once (an O(bytes) scan), so it is the
+    default for long-lived consumers (``repro serve``) and opt-in for
+    everything latency-sensitive.
     """
     path = Path(source)
     with trace_span("engine.attach_mmap"):
@@ -292,6 +317,19 @@ def load_engine_mmap(source: Union[str, Path], deep_validate: bool = False) -> F
                 # so the page cache holds one physical copy system-wide.
                 views[name] = np.memmap(path, dtype=dtype, mode="r",
                                         offset=offset, shape=shape)
+            if verify:
+                recorded = entry.get("crc32")
+                if recorded is None:
+                    raise EngineIntegrityError(
+                        f"{path}: field {name!r} carries no crc32 stamp; "
+                        f"re-save the engine to enable verified loads"
+                    )
+                actual = zlib.crc32(np.ascontiguousarray(views[name]).tobytes()) & 0xFFFFFFFF
+                if actual != int(recorded):
+                    raise EngineIntegrityError(
+                        f"{path}: array {name!r} is corrupted (crc32 "
+                        f"{actual:#010x} != recorded {int(recorded):#010x})"
+                    )
 
         # Cheap (O(1)-per-field) shape consistency so the evaluator can trust
         # the arrays without paging anything in.

@@ -227,6 +227,75 @@ def _workload_fingerprint(workload: QueryWorkload) -> Tuple:
     return (len(workload.queries), hashlib.sha1(coords.tobytes()).hexdigest())
 
 
+def _case_fingerprint(case: "SweepCase", gen: np.random.Generator) -> str:
+    """A content hash of one sweep case *as scheduled*: label, row keys, and
+    the spawned RNG stream key (``SeedSequence`` entropy + spawn key).
+
+    Two runs produce equal fingerprints exactly when the case would release
+    the same bits — the same grid point built under the same stream — which
+    is what lets a checkpoint journal prove a resumed case is interchangeable
+    with the one the interrupted run computed.
+    """
+    import hashlib
+    import json
+
+    bitgen = gen.bit_generator
+    seed_seq = getattr(bitgen, "seed_seq", None) or bitgen._seed_seq
+    payload = {
+        "label": case.label,
+        "keys": [sorted((str(k), repr(v)) for k, v in key.items()) for key in case.keys],
+        "entropy": repr(seed_seq.entropy),
+        "spawn_key": list(seed_seq.spawn_key),
+    }
+    return hashlib.sha1(json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+def _sweep_fingerprint(case_fingerprints: Sequence[str], workloads: Dict) -> str:
+    """A content hash of the whole sweep: every case fingerprint plus every
+    workload's query-content fingerprint.  The checkpoint header carries it,
+    so a journal can never be replayed into a different sweep."""
+    import hashlib
+
+    digest = hashlib.sha1()
+    digest.update(str(len(case_fingerprints)).encode())
+    for fingerprint in case_fingerprints:
+        digest.update(fingerprint.encode())
+    for label in sorted(workloads):
+        digest.update(label.encode())
+        digest.update(repr(_workload_fingerprint(workloads[label])).encode())
+    return digest.hexdigest()
+
+
+def _validated_sweep_faults(faults, n_workers: int):
+    """Normalise a ``faults=`` argument to FaultSpec objects, or refuse.
+
+    Sweep faults exist to exercise the process-pool recovery paths, so they
+    are rejected outright when the sweep would run in-process — a schedule
+    that silently never fires is worse than an error.
+    """
+    if not faults:
+        return None
+    from ..serve.faults import SWEEP_FAULT_KINDS, FaultSpec, parse_fault, parse_faults
+
+    if isinstance(faults, str):
+        specs = parse_faults(faults)
+    else:
+        specs = [
+            spec if isinstance(spec, FaultSpec) else parse_fault(spec) for spec in faults
+        ]
+    bad = sorted({spec.kind for spec in specs} - set(SWEEP_FAULT_KINDS))
+    if bad:
+        raise ValueError(
+            f"fault kinds {bad} are not sweep faults (choose from {SWEEP_FAULT_KINDS})"
+        )
+    if n_workers <= 1:
+        raise ValueError(
+            "sweep fault injection requires workers > 1: the faults exercise "
+            "the process-pool recovery paths, which an in-process sweep never takes"
+        )
+    return specs
+
+
 def release_workload_errors(
     releases,
     workloads: Dict[str, QueryWorkload],
@@ -329,6 +398,11 @@ def run_sweep(
     workloads: Dict[str, QueryWorkload],
     rng: RngLike = None,
     workers: Optional[int] = None,
+    *,
+    checkpoint: Optional[str] = None,
+    faults=None,
+    case_timeout: Optional[float] = None,
+    max_rebuilds: int = 3,
 ) -> List[Dict[str, object]]:
     """Run every case of a sweep and aggregate repetitions into result rows.
 
@@ -353,6 +427,20 @@ def run_sweep(
     Rows carry each key's fields plus ``shape`` and ``median_rel_error_pct``
     — the exact schema of the historical per-release loops, so tables,
     benchmarks and JSON consumers are unaffected.
+
+    Crash safety
+    ------------
+    ``checkpoint=path`` journals every completed case to an append-only,
+    fsynced JSONL file (:class:`repro.parallel.checkpoint.SweepCheckpoint`,
+    floats hex-encoded).  Re-running the same sweep with the same path
+    replays the journaled cases and computes only the rest; because each
+    replayed case was journaled bit-exact and each remaining case runs on
+    its own spawned stream, the resumed sweep's rows are **bitwise
+    identical** to an uninterrupted run's.  A journal from a *different*
+    sweep (other seed, grid or workloads) refuses to resume with a named
+    error.  ``faults=`` (sweep kinds of :mod:`repro.serve.faults`),
+    ``case_timeout=`` and ``max_rebuilds=`` thread through to the
+    fault-tolerant executor; faults require ``workers > 1``.
     """
     from ..privacy.rng import spawn_generators
 
@@ -362,17 +450,58 @@ def run_sweep(
     from ..parallel.sweep import resolve_workers
 
     n_workers = resolve_workers(workers)
-    if n_workers > 1 and len(cases) > 1:
-        from ..parallel.sweep import run_cases_parallel
+    fault_specs = _validated_sweep_faults(faults, n_workers)
 
-        per_case = run_cases_parallel(cases, case_gens, workloads, n_workers)
-        return [row for rows in per_case for row in rows]
+    ck = None
+    if checkpoint is not None:
+        from ..parallel.checkpoint import SweepCheckpoint
 
-    rows: List[Dict[str, object]] = []
-    matrix_cache: Dict = {}  # shared across cases: same structure -> same matrices
-    for case, case_gen in zip(cases, case_gens):
-        rows.extend(case_rows(case, case_gen, workloads, matrix_cache=matrix_cache))
-    return rows
+        fingerprints = [_case_fingerprint(c, g) for c, g in zip(cases, case_gens)]
+        ck = SweepCheckpoint(
+            checkpoint, _sweep_fingerprint(fingerprints, workloads), fingerprints
+        )
+        if ck.n_completed:
+            counter_add("sweep.cases_resumed", ck.n_completed)
+            with trace_span("sweep.resume", replayed=ck.n_completed, total=len(cases)):
+                pass
+
+    try:
+        if n_workers > 1 and len(cases) > 1:
+            from ..parallel.sweep import run_cases_parallel
+
+            per_case = run_cases_parallel(
+                cases,
+                case_gens,
+                workloads,
+                n_workers,
+                skip=() if ck is None else tuple(ck.completed),
+                on_case_done=None if ck is None else ck.record,
+                faults=fault_specs,
+                case_timeout=case_timeout,
+                max_rebuilds=max_rebuilds,
+            )
+            if ck is not None:
+                replayed = ck.completed
+                per_case = [
+                    replayed[i] if rows is None else rows
+                    for i, rows in enumerate(per_case)
+                ]
+            return [row for rows in per_case for row in rows]
+
+        rows: List[Dict[str, object]] = []
+        matrix_cache: Dict = {}  # shared across cases: same structure -> same matrices
+        replayed = {} if ck is None else ck.completed
+        for i, (case, case_gen) in enumerate(zip(cases, case_gens)):
+            case_result = replayed.get(i)
+            if case_result is None:
+                case_result = case_rows(case, case_gen, workloads, matrix_cache=matrix_cache)
+                if ck is not None:
+                    ck.record(i, case_result)
+            rows.extend(case_result)
+        return rows
+    finally:
+        if ck is not None:
+            ck.close()
 
 
 def format_table(rows: Iterable[Dict[str, object]], columns: Sequence[str], title: str = "") -> str:

@@ -103,6 +103,9 @@ def run_fig3(
     points: Optional[np.ndarray] = None,
     rng: RngLike = 0,
     workers: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    faults=None,
+    case_timeout: Optional[float] = None,
 ) -> List[Dict[str, object]]:
     """Run the Figure 3 experiment and return one row per (epsilon, variant, shape).
 
@@ -123,4 +126,5 @@ def run_fig3(
                             scale.repetitions, variant, structure)
         for variant in variants
     ]
-    return run_sweep(cases, workloads, rng=gen, workers=workers)
+    return run_sweep(cases, workloads, rng=gen, workers=workers,
+                     checkpoint=checkpoint, faults=faults, case_timeout=case_timeout)

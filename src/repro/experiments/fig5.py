@@ -74,6 +74,9 @@ def run_fig5(
     prune_threshold: float = PAPER_PRUNE_THRESHOLD,
     rng: RngLike = 0,
     workers: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    faults=None,
+    case_timeout: Optional[float] = None,
 ) -> List[Dict[str, object]]:
     """Run the Figure 5 sweep; one row per (epsilon, variant, shape).
 
@@ -101,4 +104,5 @@ def run_fig5(
                                  variant=variant, prune_threshold=prune_threshold)
         return SweepCase(label=variant, keys=keys, build=build)
 
-    return run_sweep([case(v) for v in variants], workloads, rng=gen, workers=workers)
+    return run_sweep([case(v) for v in variants], workloads, rng=gen, workers=workers,
+                     checkpoint=checkpoint, faults=faults, case_timeout=case_timeout)

@@ -53,6 +53,9 @@ def run_fig6(
     hilbert_order: int = 16,
     rng: RngLike = 0,
     workers: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    faults=None,
+    case_timeout: Optional[float] = None,
 ) -> List[Dict[str, object]]:
     """Run the Figure 6 sweep; one row per (method, height, shape).
 
@@ -76,7 +79,8 @@ def run_fig6(
         for height in heights
         for method in methods
     ]
-    return run_sweep(cases, workloads, rng=gen, workers=workers)
+    return run_sweep(cases, workloads, rng=gen, workers=workers,
+                     checkpoint=checkpoint, faults=faults, case_timeout=case_timeout)
 
 
 @dataclass(frozen=True, eq=False)

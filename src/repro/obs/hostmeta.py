@@ -60,10 +60,18 @@ def write_bench_json(path: str, payload: Dict[str, object],
     The single emit helper every benchmark routes through: guarantees the
     ``"host"`` key (including the git commit) is present and identically
     shaped in every ``BENCH_*.json``.  Returns the stamped payload.
+
+    The write is atomic (temp file + fsync + ``os.replace``): a benchmark
+    crashing mid-emit leaves either the previous complete file or none at
+    all, never a torn JSON that downstream tooling would choke on.
     """
     payload = dict(payload)
     payload["host"] = host_metadata(repo_root)
-    with open(path, "w", encoding="utf-8") as fh:
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
     return payload

@@ -10,7 +10,13 @@ allows.  This package scales *across* cores without touching those kernels:
   the same pages, instead of re-pickling megabytes per task;
 * :mod:`repro.parallel.sweep` — the process-parallel sweep executor behind
   ``run_sweep(..., workers=N)``: each case runs on its own spawned child RNG
-  stream, so ``workers=N`` is bitwise identical to ``workers=1`` for every N;
+  stream, so ``workers=N`` is bitwise identical to ``workers=1`` for every N —
+  including across worker crashes (pool rebuilds with bounded backoff), case
+  timeouts (retry once, then in-process) and graceful degradation;
+* :mod:`repro.parallel.checkpoint` — the crash-safe sweep journal: completed
+  cases are fsynced to an append-only JSONL file (floats hex-encoded,
+  fingerprint-guarded) so an interrupted ``run_sweep(..., checkpoint=path)``
+  resumes bitwise identical to an uninterrupted run;
 * :mod:`repro.parallel.serve` — a sharded query server that fans chunks of a
   query batch across a worker pool over one shared compiled engine;
 * :mod:`repro.parallel.matching` — seeker-chunk fan-out for the record
@@ -21,6 +27,14 @@ Everything here keeps a hard determinism contract: parallelism changes
 *where* work runs, never *what* it computes.
 """
 
+from .checkpoint import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointHeaderError,
+    CheckpointMismatchError,
+    CheckpointSequenceGapError,
+    SweepCheckpoint,
+)
 from .matching import score_seeker_chunks
 from .serve import ShardedQueryServer
 from .shm import SharedArena, attach_array, dumps_shared, loads_shared
@@ -36,4 +50,10 @@ __all__ = [
     "resolve_workers",
     "run_cases_parallel",
     "score_seeker_chunks",
+    "SweepCheckpoint",
+    "CheckpointError",
+    "CheckpointHeaderError",
+    "CheckpointCorruptError",
+    "CheckpointSequenceGapError",
+    "CheckpointMismatchError",
 ]

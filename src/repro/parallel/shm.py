@@ -36,8 +36,11 @@ copying, and it keeps every worker on the same pages).
 
 from __future__ import annotations
 
+import atexit
 import io
+import os
 import pickle
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Dict, Tuple
@@ -138,6 +141,16 @@ class SharedArena:
         self._segments: list = []
         self._handles: Dict[int, SharedArrayHandle] = {}
         self._keepalive: list = []
+        # Segments are system-global names: if this process dies between
+        # export and close (KeyboardInterrupt escaping the context manager,
+        # an exception in a caller that never entered one), the /dev/shm
+        # entries outlive it.  Every live arena therefore registers with a
+        # process-wide atexit sweep that unlinks whatever is left.  The
+        # owner pid makes the sweep fork-safe: a pool worker inherits the
+        # parent's arena object but must never unlink the parent's live
+        # segments on its own exit.
+        self._owner_pid = os.getpid()
+        _LIVE_ARENAS.add(self)
 
     # ------------------------------------------------------------------
     @property
@@ -182,13 +195,18 @@ class SharedArena:
         Idempotent, and safe to call mid-failure: a still-referenced buffer
         (``BufferError``) does not stop the *name* from being unlinked, so the
         system-wide ``/dev/shm`` entry disappears even when a view leaked.
+
+        In a forked child (``os.getpid()`` differs from the creating pid) the
+        segments belong to the parent: local references are dropped but
+        nothing is unlinked.
         """
+        owns = os.getpid() == self._owner_pid
         for segment in self._segments:
             try:
                 segment.close()
             except BufferError:  # a view is still alive; unlink the name anyway
                 pass
-            if unlink:
+            if unlink and owns:
                 try:
                     segment.unlink()
                 except FileNotFoundError:  # already unlinked (e.g. by a crashed twin)
@@ -202,6 +220,22 @@ class SharedArena:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+#: Every arena not yet closed, swept by :func:`_close_live_arenas` at process
+#: exit so an interrupt mid-sweep cannot leave /dev/shm segments behind.
+_LIVE_ARENAS: "weakref.WeakSet[SharedArena]" = weakref.WeakSet()
+
+
+def _close_live_arenas() -> None:  # pragma: no cover - exercised via subprocess
+    for arena in list(_LIVE_ARENAS):
+        try:
+            arena.close()
+        except Exception:
+            pass  # exit-time best effort; the resource tracker is the backstop
+
+
+atexit.register(_close_live_arenas)
 
 
 # ----------------------------------------------------------------------

@@ -1,22 +1,31 @@
-"""Deterministic fault injection for the serving layer — no RNG, ever.
+"""Deterministic fault injection for the serving and sweep layers — no RNG, ever.
 
-Faults fire on *request counts*: a spec like ``kill-worker:7`` crashes one
-pool worker on every 7th admitted query request (requests 7, 14, 21, ...).
-Because the schedule is a pure function of the monotone request counter, a
-test or benchmark that replays the same request sequence replays the same
-faults — the harness is as reproducible as the engine it torments.
+Faults fire on *counts*: a spec like ``kill-worker:7`` crashes one pool
+worker on every 7th admitted query request (requests 7, 14, 21, ...).
+Because the schedule is a pure function of a monotone counter, a test or
+benchmark that replays the same request sequence replays the same faults —
+the harness is as reproducible as the engine it torments.
 
-Four fault kinds, each aimed at a different failure surface:
+Two consumers key the same schedule machinery on different counters: the
+HTTP serving layer counts *admitted requests*, the crash-safe sweep executor
+(:mod:`repro.parallel.sweep`) counts *case submissions* to its process pool
+(resubmissions after a crash keep incrementing the counter, so a recurring
+fault cannot pin one case into an infinite crash loop).
+
+Five fault kinds, each aimed at a different failure surface:
 
 =================  ==========================================================
 ``kill-worker``    hard-exits one pool worker (``os._exit`` in the worker);
-                   the supervised pool must rebuild and replay the chunks
+                   the supervised pool must rebuild and replay the work
 ``slow-chunk``     sleeps inside request handling (param = seconds,
                    default 0.05); drives timeout and load-shedding paths
+``slow-case``      sleeps inside a sweep worker before computing the case
+                   (param = seconds, default 0.05); drives the sweep's
+                   per-case soft-timeout retry and in-process fallback paths
 ``wal-io-error``   the budget ledger's append raises ``OSError`` for that
                    request; the charge must fail closed (no spend, no answer)
 ``oom-worker``     a pool task raises ``MemoryError`` in a worker; the pool
-                   must survive and the request must still be answered
+                   must survive and the work must still complete
 =================  ==========================================================
 
 Specs are ``kind:every`` or ``kind:every:param`` and compose by comma:
@@ -28,9 +37,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Union
 
-__all__ = ["FAULT_KINDS", "FaultSpec", "FaultInjector", "parse_fault", "parse_faults"]
+__all__ = [
+    "FAULT_KINDS",
+    "SWEEP_FAULT_KINDS",
+    "FaultSpec",
+    "FaultInjector",
+    "parse_fault",
+    "parse_faults",
+]
 
-FAULT_KINDS = ("kill-worker", "slow-chunk", "wal-io-error", "oom-worker")
+FAULT_KINDS = ("kill-worker", "slow-chunk", "slow-case", "wal-io-error", "oom-worker")
+
+#: The fault kinds the crash-safe sweep executor understands (``repro
+#: experiment --fault``); the serving layer accepts the full set.
+SWEEP_FAULT_KINDS = ("kill-worker", "slow-case", "oom-worker")
 
 #: Default sleep for ``slow-chunk`` when the spec names no param.
 DEFAULT_SLOW_SECONDS = 0.05
@@ -75,7 +95,7 @@ def parse_fault(spec: str) -> FaultSpec:
             param = float(parts[2])
         except ValueError:
             raise ValueError(f"malformed fault spec {spec!r}: param must be a number")
-    if kind == "slow-chunk" and param == 0.0:
+    if kind in ("slow-chunk", "slow-case") and param == 0.0:
         param = DEFAULT_SLOW_SECONDS
     return FaultSpec(kind=kind, every=every, param=param)
 

@@ -282,6 +282,103 @@ class TestV2Validation:
 
 
 # ----------------------------------------------------------------------
+# Artifact integrity: per-region CRC32 (v2) and the .npz adler32 sidecar
+# ----------------------------------------------------------------------
+class TestArtifactIntegrity:
+    def _corrupt_region(self, path, field):
+        blob = bytearray(path.read_bytes())
+        header_len = struct.unpack("<Q", blob[8:16])[0]
+        header = json.loads(blob[16:16 + header_len].decode())
+        offset = header["arrays"][field]["offset"]
+        blob[offset + 3] ^= 0xFF
+        path.write_bytes(bytes(blob))
+
+    def test_v2_verified_load_roundtrips_bitwise(self, points, domain, tmp_path, v2_file):
+        engine = compile_psd(_build("quad-opt", points, domain))
+        verified = load_engine(v2_file, verify=True)
+        queries = _queries(_build("quad-opt", points, domain))
+        _assert_bitwise(batch_query(engine, queries), batch_query(verified, queries))
+
+    def test_v2_corrupted_region_named(self, v2_file):
+        from repro.engine import EngineIntegrityError
+
+        self._corrupt_region(v2_file, "released")
+        with pytest.raises(EngineIntegrityError, match="'released' is corrupted"):
+            load_engine(v2_file, verify=True)
+        # unverified attach stays fast and permissive (serving opts in)
+        load_engine(v2_file)
+
+    def test_v2_geometry_corruption_named(self, v2_file):
+        from repro.engine import EngineIntegrityError
+
+        self._corrupt_region(v2_file, "lo")
+        with pytest.raises(EngineIntegrityError, match="'lo' is corrupted"):
+            load_engine(v2_file, verify=True)
+
+    def test_v2_missing_crc_stamp_refused(self, v2_file):
+        from repro.engine import EngineIntegrityError
+
+        blob = v2_file.read_bytes()
+        header_len = struct.unpack("<Q", blob[8:16])[0]
+        header = json.loads(blob[16:16 + header_len].decode())
+        for entry in header["arrays"].values():
+            entry.pop("crc32", None)
+        packed = json.dumps(header).encode()
+        assert len(packed) <= header_len
+        packed += b" " * (header_len - len(packed))
+        v2_file.write_bytes(blob[:16] + packed + blob[16 + header_len:])
+        load_engine(v2_file)  # pre-integrity files still load unverified
+        with pytest.raises(EngineIntegrityError, match="no crc32 stamp"):
+            load_engine(v2_file, verify=True)
+
+    def test_npz_sidecar_written_and_verified(self, points, domain, tmp_path):
+        engine = compile_psd(_build("quad-opt", points, domain))
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path, format="npz")
+        sidecar = tmp_path / "engine.npz.adler32"
+        assert sidecar.exists()
+        loaded = load_engine(path, verify=True)
+        queries = _queries(_build("quad-opt", points, domain))
+        _assert_bitwise(batch_query(engine, queries), batch_query(loaded, queries))
+
+    def test_npz_tampered_checksum_named(self, points, domain, tmp_path):
+        from repro.engine import EngineIntegrityError
+
+        engine = compile_psd(_build("quad-opt", points, domain))
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path, format="npz")
+        sidecar = tmp_path / "engine.npz.adler32"
+        recorded = json.loads(sidecar.read_text())
+        recorded["arrays"]["released"] ^= 1
+        sidecar.write_text(json.dumps(recorded))
+        with pytest.raises(EngineIntegrityError, match="'released' is corrupted"):
+            load_engine(path, verify=True)
+        load_engine(path)  # unverified load unaffected
+
+    def test_npz_missing_sidecar_refused(self, points, domain, tmp_path):
+        from repro.engine import EngineIntegrityError
+
+        engine = compile_psd(_build("quad-opt", points, domain))
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path, format="npz")
+        (tmp_path / "engine.npz.adler32").unlink()
+        with pytest.raises(EngineIntegrityError, match="no integrity sidecar"):
+            load_engine(path, verify=True)
+
+    def test_serve_cli_refuses_corrupted_engine(self, v2_file, capsys):
+        self._corrupt_region(v2_file, "released")
+        with pytest.raises(SystemExit, match="corrupted"):
+            main(["serve", str(v2_file), "--ledger", str(v2_file) + ".ledger"])
+
+    def test_query_cli_verify_flag(self, v2_file, capsys):
+        rc = main(["query", str(v2_file), "--rect", "0.1,0.1,0.6,0.6", "--verify"])
+        assert rc == 0
+        self._corrupt_region(v2_file, "released")
+        with pytest.raises(SystemExit, match="corrupted"):
+            main(["query", str(v2_file), "--rect", "0.1,0.1,0.6,0.6", "--verify"])
+
+
+# ----------------------------------------------------------------------
 # Zero-copy serving: pickling, sharded workers, the answer cache
 # ----------------------------------------------------------------------
 class TestZeroCopyServing:

@@ -126,6 +126,59 @@ def dumps_shared_handle(handle: SharedArrayHandle) -> bytes:
     return buffer.getvalue()
 
 
+_INTERRUPTED_ARENA_SCRIPT = """\
+import json
+import numpy as np
+from repro.parallel.shm import SharedArena, dumps_shared
+
+arena = SharedArena()
+dumps_shared({"a": np.arange(100_000, dtype=np.float64)}, arena)
+print(json.dumps([seg.name for seg in arena._segments]), flush=True)
+raise KeyboardInterrupt  # Ctrl-C mid-sweep: the atexit guard must unlink
+"""
+
+
+class TestArenaLeakGuard:
+    def test_interrupted_process_leaks_no_segments(self, tmp_path):
+        """A process dying with a live arena must leave /dev/shm clean —
+        unlinked by the atexit sweep itself, not mopped up (with warnings)
+        by the multiprocessing resource tracker."""
+        import os
+        import subprocess
+        import sys
+        from multiprocessing import shared_memory
+
+        script = tmp_path / "interrupted.py"
+        script.write_text(_INTERRUPTED_ARENA_SCRIPT)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(os.getcwd(), "src"), env.get("PYTHONPATH")) if p
+        )
+        result = subprocess.run([sys.executable, str(script)], env=env,
+                                capture_output=True, text=True, timeout=120)
+        assert result.returncode != 0  # the interrupt escaped
+        names = __import__("json").loads(result.stdout)
+        assert names, "the arena exported no segment"
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        assert "leaked shared_memory" not in result.stderr
+
+    def test_forked_child_close_never_unlinks_parent_segments(self):
+        """A pool worker inherits the parent's arena object; its exit-time
+        close must drop local references only, never the shared names."""
+        from multiprocessing import shared_memory
+
+        arena = SharedArena()
+        handle = arena.export(np.arange(9_000, dtype=np.float64))
+        arena._owner_pid += 1  # simulate running inside a forked child
+        arena.close()
+        # the segment survives the child's close...
+        segment = shared_memory.SharedMemory(name=handle.shm_name)
+        segment.close()
+        segment.unlink()  # ...and is cleaned up here on the parent's behalf
+
+
 # ----------------------------------------------------------------------
 # Process-parallel sweeps
 # ----------------------------------------------------------------------
